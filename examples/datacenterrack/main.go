@@ -1,0 +1,109 @@
+// Datacenterrack: the paper's motivating scenario scaled up — a full
+// storage tower of five drives in a submerged container, each running the
+// victim software stack (journaling filesystem + key-value store + server
+// model). One underwater speaker takes the whole rack's storage offline
+// and, held long enough, crashes every server in it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepnote"
+	"deepnote/internal/core"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/kvdb"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// node is one drive slot's full stack.
+type node struct {
+	slot int
+	rig  *core.Rig
+	db   *kvdb.DB
+}
+
+func main() {
+	tower := enclosure.SupermicroCSEM35TQB()
+	fmt.Printf("Underwater rack: %s inside a plastic container, %d drives\n\n",
+		tower.Name, tower.Slots)
+
+	// Build one rig per slot: same container, different tower positions.
+	var nodes []*node
+	for slot := 0; slot < tower.Slots; slot++ {
+		tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Assembly.Mount = enclosure.TowerMount(tower, slot)
+		rig, err := core.NewRigFromTestbed(tb, int64(100+slot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, db, _, err := deepnote.NewStack(rig, int64(slot+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, &node{slot: slot, rig: rig, db: db})
+	}
+
+	// Healthy baseline: every node serves a write-heavy workload.
+	fmt.Println("baseline (no attack):")
+	for _, n := range nodes {
+		mbps := runWorkload(n, 2*time.Second)
+		fmt.Printf("  slot %d: %.1f MB/s key-value throughput\n", n.slot, mbps)
+	}
+
+	// One speaker, one tone, every drive in the tower.
+	tone := sig.NewTone(650 * units.Hz)
+	fmt.Printf("\n>>> attacker keys a %v tone at 1 cm from the container\n\n", tone.Freq)
+	fmt.Println("under attack:")
+	for _, n := range nodes {
+		n.rig.ApplyTone(tone)
+		mbps := runWorkload(n, 2*time.Second)
+		amp := n.rig.Drive.Vibration().Amplitude
+		fmt.Printf("  slot %d: %.2f MB/s (head off-track %.0f%% of track pitch)\n",
+			n.slot, mbps, amp*100)
+	}
+
+	// Prolonged attack: count how long until each node's store crashes.
+	fmt.Println("\nprolonged attack (WAL persistence failure expected ≈80 s):")
+	for _, n := range nodes {
+		start := n.rig.Clock.Now()
+		for i := 0; ; i++ {
+			if err := n.db.Put(key(i), []byte("payload")); err != nil {
+				if crashed, _ := n.db.Crashed(); crashed {
+					break
+				}
+			}
+			if n.rig.Clock.Now().Sub(start) > 200*time.Second {
+				break
+			}
+		}
+		if crashed, _ := n.db.Crashed(); crashed {
+			fmt.Printf("  slot %d: database crashed after %.1f s\n",
+				n.slot, n.db.CrashedAt().Sub(start).Seconds())
+		} else {
+			fmt.Printf("  slot %d: survived the window\n", n.slot)
+		}
+	}
+	fmt.Println("\nOne commodity underwater speaker disabled the entire rack: no drive")
+	fmt.Println("in the tower was out of the vulnerable band.")
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func runWorkload(n *node, window time.Duration) float64 {
+	bench := kvdb.NewBench(n.db, n.rig.Clock)
+	res, err := bench.Run(kvdb.BenchSpec{
+		Workload: kvdb.WorkloadReadWhileWriting,
+		Runtime:  window,
+		Seed:     int64(n.slot + 7),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.ThroughputMBps()
+}

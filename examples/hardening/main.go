@@ -1,0 +1,95 @@
+// Hardening: the deployment guide the paper's findings imply, as a
+// runnable walkthrough. Starting from the paper's vulnerable testbed, each
+// step applies one hardening measure and re-evaluates the attacker's
+// options, ending with a configuration a subsea operator could defend:
+// steel vessel, defense stack, cross-container redundancy, and telemetry
+// monitoring.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepnote/internal/acoustics"
+	"deepnote/internal/core"
+	"deepnote/internal/defense"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/experiment"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+func main() {
+	sea := water.Seawater(36)
+
+	evaluate := func(label string, tb *core.Testbed) {
+		crit, ok := tb.CriticalIncidentSPL(650)
+		if !ok {
+			fmt.Printf("%-44s invulnerable at 650 Hz\n", label)
+			return
+		}
+		var lines []string
+		for _, tier := range acoustics.AttackerTiers() {
+			d, reachable := acoustics.MaxAttackRange(tier.Level, tier.RefDist, crit, 650, sea, experiment.SearchCap)
+			entry := tier.Name + ": "
+			switch {
+			case !reachable:
+				entry += "cannot attack"
+			case d >= experiment.SearchCap:
+				entry += ">= 10km"
+			default:
+				entry += d.String()
+			}
+			lines = append(lines, entry)
+		}
+		fmt.Printf("%-44s needs %3.0f dB re 1µPa\n", label, crit.DB)
+		for _, l := range lines {
+			fmt.Printf("%-44s   %s\n", "", l)
+		}
+	}
+
+	fmt.Println("Step 0: the paper's testbed (plastic container, storage tower)")
+	tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evaluate("  baseline:", tb)
+
+	fmt.Println("\nStep 1: production enclosure (steel pressure vessel)")
+	hardened := *tb
+	hardened.Assembly.Container = enclosure.NatickVessel()
+	evaluate("  steel vessel:", &hardened)
+
+	fmt.Println("\nStep 2: defense stack inside the vessel")
+	stack := defense.Suite{
+		defense.NewServoFeedforward(12),
+		defense.NewDampedMount(150),
+	}
+	defended := stack.Apply(&hardened)
+	evaluate("  steel + "+stack.Name()+":", defended)
+	fmt.Printf("  thermal cost: +%.1f°C (water at %.0f°C leaves ample headroom)\n",
+		stack.ThermalPenaltyC(), sea.TempC)
+
+	fmt.Println("\nStep 3: place redundancy across acoustic failure domains")
+	rows, err := experiment.Redundancy(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		verdict := "DIES"
+		if r.Survived {
+			verdict = "SURVIVES"
+		}
+		fmt.Printf("  %-7s %-36s %s\n", r.Level, r.Placement, verdict)
+	}
+
+	fmt.Println("\nStep 4: monitor for what cannot be prevented")
+	fmt.Println("  - latency/error anomaly detection (internal/detect) alarms inside")
+	fmt.Println("    seconds, far before the ~80 s crash horizon of Table 3")
+	fmt.Println("  - SMART servo-retry counters fingerprint acoustic stress")
+	fmt.Println("  - CRC-verifying storage (WAL-style) catches silent integrity rot")
+
+	fmt.Println("\nResult: the pool-speaker attacker from the paper is eliminated, a")
+	fmt.Println("commercial transducer must get within meters of the vessel, and even a")
+	fmt.Println("sonar-class attacker only degrades one acoustic failure domain at a time.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: build the paper's testbed, measure the healthy drive, start
+// a 650 Hz / 140 dB attack from 1 cm, watch throughput die, stop the
+// attack, watch it recover. Everything runs in virtual time and finishes
+// in milliseconds of real time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepnote"
+)
+
+func main() {
+	// Scenario 2: the drive sits in a Supermicro-style storage tower
+	// inside a plastic container submerged in a freshwater tank.
+	rig, err := deepnote.NewRig(deepnote.Scenario2, 1*deepnote.Centimeter, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(label string) {
+		read, err := deepnote.RunFIO(rig, deepnote.SeqRead, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write, err := deepnote.RunFIO(rig, deepnote.SeqWrite, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, w := "no response", "no response"
+		if !read.NoResponse {
+			r = fmt.Sprintf("%.1f MB/s", read.ThroughputMBps())
+		}
+		if !write.NoResponse {
+			w = fmt.Sprintf("%.1f MB/s", write.ThroughputMBps())
+		}
+		fmt.Printf("%-28s read %-12s write %s\n", label, r, w)
+	}
+
+	fmt.Println("Deep Note quickstart — victim: 500 GB Barracuda in Scenario 2")
+	fmt.Println()
+	measure("baseline (no attack):")
+
+	tone := deepnote.Tone(650 * deepnote.Hz)
+	rig.ApplyTone(tone)
+	fmt.Printf("\n>>> attacking: %v underwater tone, incident %v at 1 cm\n\n",
+		tone.Freq, rig.Testbed.IncidentSPL(tone))
+	measure("under attack:")
+
+	rig.Silence()
+	fmt.Println("\n>>> attack stopped")
+	fmt.Println()
+	measure("after attack:")
+}

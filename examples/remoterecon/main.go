@@ -1,0 +1,88 @@
+// Remoterecon: the paper's §3 threat model end to end. The attacker never
+// sees the drive — they rent time on an online object store backed by the
+// submerged rack, sweep tones from their underwater speaker, and watch
+// nothing but request latencies. Timeouts and latency spikes map out the
+// victim's vulnerable band; the attacker then keys the best tone and takes
+// the service down at will.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"deepnote/internal/attack"
+	"deepnote/internal/core"
+	"deepnote/internal/netstore"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+func main() {
+	fmt.Println("Phase 1: reconnaissance — latency-only frequency sweep")
+	fmt.Println()
+	sweep, err := attack.RemoteSweeper{
+		Scenario: core.Scenario2,
+		Plan: sig.SweepPlan{
+			Start: 100, End: 8000, CoarseStep: 200, FineStep: 50, DwellSec: 1,
+		},
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  healthy median PUT: %.2f ms\n", sweep.Baseline.Seconds()*1000)
+	fmt.Println("  frequencies whose probes timed out or blew past 3x baseline:")
+	for _, band := range sweep.InferredBands {
+		fmt.Printf("    inferred vulnerable band: %v\n", band)
+	}
+
+	if len(sweep.InferredBands) == 0 {
+		log.Fatal("reconnaissance failed")
+	}
+	band := sweep.InferredBands[0]
+	best := band.Low + (band.High-band.Low)/2
+	fmt.Printf("\nPhase 2: exploitation — keying %v against the live service\n\n", best)
+
+	rig, err := core.NewRig(core.Scenario2, 1*units.Centimeter, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netstore.NewServer(rig.Disk, rig.Clock, netstore.Config{Timeout: 2 * time.Second})
+	if err := srv.Preload(); err != nil {
+		log.Fatal(err)
+	}
+
+	serve := func(label string, n int) {
+		okCount, timeouts, fails := 0, 0, 0
+		var latSum time.Duration
+		for i := 0; i < n; i++ {
+			resp := srv.Handle(netstore.Put, i%100)
+			switch {
+			case resp.Err == nil:
+				okCount++
+				latSum += resp.Latency
+			case errors.Is(resp.Err, netstore.ErrTimeout):
+				timeouts++
+			default:
+				fails++
+			}
+		}
+		mean := "-"
+		if okCount > 0 {
+			mean = fmt.Sprintf("%.2f ms", (latSum/time.Duration(okCount)).Seconds()*1000)
+		}
+		fmt.Printf("  %-16s %3d ok  %3d timeouts  %3d errors   mean latency %s\n",
+			label, okCount, timeouts, fails, mean)
+	}
+
+	serve("before attack:", 50)
+	rig.ApplyTone(sig.NewTone(best))
+	serve("under attack:", 20)
+	rig.Silence()
+	serve("after attack:", 50)
+
+	fmt.Println("\nThe attacker needed no access to the data center — only an online")
+	fmt.Println("service backed by it and a speaker in the water. This is the paper's")
+	fmt.Println("threat model (§3) realized end to end.")
+}

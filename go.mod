@@ -1,0 +1,3 @@
+module deepnote
+
+go 1.23

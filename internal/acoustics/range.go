@@ -1,0 +1,78 @@
+package acoustics
+
+import (
+	"math"
+
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+// deliveredSPL returns the SPL arriving at distance d from a source of
+// level src (referenced at refDist) at frequency f in medium m.
+func deliveredSPL(src units.SPL, refDist units.Distance, f units.Frequency, m water.Medium, d units.Distance) float64 {
+	spread := 20 * math.Log10(float64(d)/float64(refDist))
+	if spread < 0 {
+		spread = 0
+	}
+	return src.DB - spread - float64(m.AbsorptionLoss(f, d))
+}
+
+// MaxAttackRange returns the largest distance at which a source of the
+// given level still delivers at least `required` SPL at frequency f in
+// medium m, searched up to maxDist. ok is false when even the reference
+// distance falls short. This quantifies the paper's §5 "Effective Range"
+// discussion: spreading dominates at tank scale, absorption at sea scale,
+// and louder (military-grade) sources buy distance.
+func MaxAttackRange(src units.SPL, refDist units.Distance, required units.SPL, f units.Frequency, m water.Medium, maxDist units.Distance) (units.Distance, bool) {
+	req := required.Rereference(src.Ref).DB
+	if deliveredSPL(src, refDist, f, m, refDist) < req {
+		return 0, false
+	}
+	if deliveredSPL(src, refDist, f, m, maxDist) >= req {
+		return maxDist, true
+	}
+	lo, hi := refDist, maxDist
+	for i := 0; i < 100 && (hi-lo) > lo*1e-6; i++ {
+		mid := (lo + hi) / 2
+		if deliveredSPL(src, refDist, f, m, mid) >= req {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// RequiredSourceLevel returns the source level (at refDist) needed to
+// deliver `required` SPL at distance d and frequency f in medium m — how
+// an attacker sizes their amplifier for a standoff attack, per §4.2's
+// closing observation.
+func RequiredSourceLevel(required units.SPL, refDist units.Distance, f units.Frequency, m water.Medium, d units.Distance) units.SPL {
+	spread := 20 * math.Log10(float64(d)/float64(refDist))
+	if spread < 0 {
+		spread = 0
+	}
+	absorb := float64(m.AbsorptionLoss(f, d))
+	return units.SPL{DB: required.Rereference(units.RefPressureWater).DB + spread + absorb, Ref: units.RefPressureWater}
+}
+
+// SourceClass describes an attacker capability tier for range studies.
+type SourceClass struct {
+	// Name labels the tier.
+	Name string
+	// Level is the source level at RefDist.
+	Level units.SPL
+	// RefDist is the level's reference distance.
+	RefDist units.Distance
+}
+
+// Commercial attacker tiers, following the paper's discussion: the AQ339
+// pool speaker used in the testbed, a high-power commercial transducer,
+// and sonar-class military equipment (§4 cites 220 dB SPL for sonars).
+func AttackerTiers() []SourceClass {
+	return []SourceClass{
+		{Name: "pool speaker (AQ339-class)", Level: units.WaterSPL(140), RefDist: 1 * units.Centimeter},
+		{Name: "commercial transducer", Level: units.WaterSPL(180), RefDist: 1 * units.Meter},
+		{Name: "military sonar-class", Level: units.WaterSPL(220), RefDist: 1 * units.Meter},
+	}
+}

@@ -1,0 +1,115 @@
+// Package acoustics models the attack signal chain from the attacker's
+// amplifier to the incident pressure at the victim enclosure: an underwater
+// speaker with a frequency response and a maximum source level, an amplifier
+// with gain and clipping, and a propagation path applying spherical
+// spreading and medium absorption.
+//
+// The paper's chain is: laptop (GNU Radio sine) → TOA BG-2120 amplifier →
+// Clark Synthesis AQ339 Diluvio underwater speaker → water → container.
+package acoustics
+
+import (
+	"fmt"
+	"math"
+
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// Speaker is an underwater acoustic source. Source levels are expressed as
+// the SPL measured at the reference distance RefDist from the transducer
+// face when driven at full scale; real product datasheets use 1 m, but for
+// the paper's near-field tank work a centimeter-scale reference keeps the
+// numbers directly comparable to the experiments (140 dB SPL at 1 cm).
+type Speaker struct {
+	// Name identifies the speaker model.
+	Name string
+	// MaxSPL is the maximum source level the speaker can produce at
+	// RefDist within its flat band.
+	MaxSPL units.SPL
+	// RefDist is the distance at which MaxSPL is specified.
+	RefDist units.Distance
+	// LowCorner and HighCorner bound the usable band. Response rolls off
+	// at 12 dB/octave outside the corners, approximating a transducer's
+	// band edges.
+	LowCorner, HighCorner units.Frequency
+}
+
+// AQ339 returns a model of the Clark Synthesis AQ339 Diluvio underwater
+// speaker used in the paper, normalized so that a full-scale 650 Hz drive
+// produces the paper's 140 dB SPL (re 1 µPa) at 1 cm from the face.
+func AQ339() Speaker {
+	return Speaker{
+		Name:       "Clark Synthesis AQ339 Diluvio",
+		MaxSPL:     units.WaterSPL(140),
+		RefDist:    1 * units.Centimeter,
+		LowCorner:  80 * units.Hz,
+		HighCorner: 17000 * units.Hz,
+	}
+}
+
+// ResponseDB returns the speaker's relative frequency response in dB
+// (0 dB within the flat band, rolling off 12 dB/octave beyond the corners).
+func (s Speaker) ResponseDB(f units.Frequency) units.Decibel {
+	if f <= 0 {
+		return units.Decibel(math.Inf(-1))
+	}
+	switch {
+	case f < s.LowCorner:
+		octaves := math.Log2(float64(s.LowCorner) / float64(f))
+		return units.Decibel(-12 * octaves)
+	case f > s.HighCorner:
+		octaves := math.Log2(float64(f) / float64(s.HighCorner))
+		return units.Decibel(-12 * octaves)
+	default:
+		return 0
+	}
+}
+
+// SourceLevel returns the SPL at RefDist for the given tone, accounting for
+// the drive level and the speaker's frequency response, saturating at the
+// speaker's maximum.
+func (s Speaker) SourceLevel(t sig.Tone) units.SPL {
+	t = t.Normalize()
+	if t.Amplitude == 0 || t.Freq <= 0 {
+		return units.SPL{DB: math.Inf(-1), Ref: s.MaxSPL.Ref}
+	}
+	lvl := s.MaxSPL.Add(t.DriveDB()).Add(s.ResponseDB(t.Freq))
+	if lvl.DB > s.MaxSPL.DB {
+		lvl.DB = s.MaxSPL.DB
+	}
+	return lvl
+}
+
+// Validate reports whether the speaker parameters are consistent.
+func (s Speaker) Validate() error {
+	if s.RefDist <= 0 {
+		return fmt.Errorf("acoustics: speaker %q reference distance must be positive", s.Name)
+	}
+	if s.LowCorner <= 0 || s.HighCorner <= s.LowCorner {
+		return fmt.Errorf("acoustics: speaker %q corners invalid [%v, %v]", s.Name, s.LowCorner, s.HighCorner)
+	}
+	return nil
+}
+
+// Amplifier models the attacker's power amplifier: a gain applied to the
+// input signal with hard clipping at full scale. The paper drives the
+// speaker through a TOA BG-2120 120 W mixer/amplifier.
+type Amplifier struct {
+	// Name identifies the amplifier.
+	Name string
+	// GainDB is the voltage gain applied to the input amplitude.
+	GainDB units.Decibel
+}
+
+// BG2120 returns a model of the TOA BG-2120 amplifier at a neutral setting.
+func BG2120() Amplifier { return Amplifier{Name: "TOA BG-2120", GainDB: 0} }
+
+// Drive applies the amplifier to a tone, clipping the output amplitude to
+// full scale. (Clipping to a sine's fundamental is a fine approximation at
+// the fidelity of this model; harmonics are ignored.)
+func (a Amplifier) Drive(t sig.Tone) sig.Tone {
+	t = t.Normalize()
+	t.Amplitude *= a.GainDB.Linear()
+	return t.Normalize()
+}

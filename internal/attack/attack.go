@@ -1,0 +1,275 @@
+// Package attack implements the attacker's procedures from the paper's §3:
+// the frequency sweep that locates a victim's vulnerable band, the range
+// test that measures how far the attack reaches, and the prolonged attack
+// that crashes software. Each procedure drives a full testbed rig — real
+// workloads against the simulated drive — exactly as the paper drives FIO
+// and db_bench against the physical one.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/core"
+	"deepnote/internal/fio"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// SweepPoint is one measured frequency during a sweep.
+type SweepPoint struct {
+	Freq units.Frequency
+	// ThroughputMBps is the victim's measured throughput at this tone.
+	ThroughputMBps float64
+	// Baseline is the no-attack throughput for the same workload.
+	Baseline float64
+}
+
+// Degradation returns the fractional throughput loss at this point
+// (0 = unaffected, 1 = total loss).
+func (p SweepPoint) Degradation() float64 {
+	if p.Baseline <= 0 {
+		return 0
+	}
+	d := 1 - p.ThroughputMBps/p.Baseline
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SweepResult is the outcome of a frequency sweep.
+type SweepResult struct {
+	Scenario core.Scenario
+	Pattern  fio.Pattern
+	Points   []SweepPoint
+	// Vulnerable are the frequencies whose degradation exceeded the
+	// sweep's threshold.
+	Vulnerable []units.Frequency
+	// Bands coalesces Vulnerable into contiguous intervals.
+	Bands []sig.Band
+}
+
+// Sweeper runs frequency sweeps against a scenario.
+type Sweeper struct {
+	// Scenario and Distance fix the testbed geometry.
+	Scenario core.Scenario
+	Distance units.Distance
+	// Plan is the sweep schedule (defaults to the paper's sweep).
+	Plan sig.SweepPlan
+	// DegradationThreshold marks a frequency vulnerable (default 0.5).
+	DegradationThreshold float64
+	// JobRuntime is the per-frequency measurement window (default 1 s
+	// of virtual time).
+	JobRuntime time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (s Sweeper) withDefaults() Sweeper {
+	if s.Plan.CoarseStep == 0 {
+		s.Plan = sig.PaperSweep()
+	}
+	if s.DegradationThreshold == 0 {
+		s.DegradationThreshold = 0.5
+	}
+	if s.JobRuntime == 0 {
+		s.JobRuntime = time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Distance == 0 {
+		s.Distance = 1 * units.Centimeter
+	}
+	return s
+}
+
+// measure runs one fio job at the given tone on a fresh rig and returns
+// MB/s. A fresh rig per point keeps points independent, like remounting
+// the drive between paper trials.
+func (s Sweeper) measure(pattern fio.Pattern, tone sig.Tone) (float64, error) {
+	rig, err := core.NewRig(s.Scenario, s.Distance, s.Seed)
+	if err != nil {
+		return 0, err
+	}
+	if tone.Amplitude > 0 {
+		rig.ApplyTone(tone)
+	}
+	res, err := fio.NewRunner(rig.Disk, rig.Clock).Run(fio.PaperJob(pattern, s.JobRuntime))
+	if err != nil {
+		return 0, err
+	}
+	return res.ThroughputMBps(), nil
+}
+
+// Run performs the two-phase sweep of §4.1: a coarse pass over the plan,
+// then 50 Hz refinement around every vulnerable coarse frequency.
+func (s Sweeper) Run(pattern fio.Pattern) (SweepResult, error) {
+	s = s.withDefaults()
+	if err := s.Plan.Validate(); err != nil {
+		return SweepResult{}, err
+	}
+	baseline, err := s.measure(pattern, sig.Tone{})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	if baseline <= 0 {
+		return SweepResult{}, fmt.Errorf("attack: baseline throughput is zero")
+	}
+
+	res := SweepResult{Scenario: s.Scenario, Pattern: pattern}
+	var coarseVulnerable []units.Frequency
+	record := func(f units.Frequency) (SweepPoint, error) {
+		mbps, err := s.measure(pattern, sig.NewTone(f))
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		p := SweepPoint{Freq: f, ThroughputMBps: mbps, Baseline: baseline}
+		res.Points = append(res.Points, p)
+		return p, nil
+	}
+
+	for _, f := range s.Plan.CoarseFrequencies() {
+		p, err := record(f)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if p.Degradation() >= s.DegradationThreshold {
+			coarseVulnerable = append(coarseVulnerable, f)
+			res.Vulnerable = append(res.Vulnerable, f)
+		}
+	}
+	// Refinement pass.
+	seen := make(map[units.Frequency]bool)
+	for _, p := range res.Points {
+		seen[p.Freq] = true
+	}
+	for _, f := range s.Plan.RefineAroundAll(coarseVulnerable) {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		p, err := record(f)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if p.Degradation() >= s.DegradationThreshold {
+			res.Vulnerable = append(res.Vulnerable, f)
+		}
+	}
+	res.Bands = sig.CoalesceBands(res.Vulnerable, s.Plan.CoarseStep+s.Plan.FineStep)
+	return res, nil
+}
+
+// RangeRow is one distance measurement of the paper's Table 1.
+type RangeRow struct {
+	// Distance is the speaker-to-container distance; zero means no
+	// attack (the baseline row).
+	Distance units.Distance
+	// ReadMBps and WriteMBps are FIO sequential throughputs.
+	ReadMBps, WriteMBps float64
+	// ReadLatMs and WriteLatMs are mean latencies in ms; negative means
+	// no response (the paper prints "-").
+	ReadLatMs, WriteLatMs float64
+	// ReadNoResponse / WriteNoResponse flag zero-completion runs.
+	ReadNoResponse, WriteNoResponse bool
+}
+
+// RangeTest measures attack effect over distance at a fixed frequency
+// (§4.2 uses 650 Hz in Scenario 2).
+type RangeTest struct {
+	Scenario   core.Scenario
+	Freq       units.Frequency
+	Distances  []units.Distance
+	JobRuntime time.Duration
+	Seed       int64
+}
+
+func (r RangeTest) withDefaults() RangeTest {
+	if r.Freq == 0 {
+		r.Freq = 650 * units.Hz
+	}
+	if len(r.Distances) == 0 {
+		r.Distances = []units.Distance{
+			1 * units.Centimeter, 5 * units.Centimeter, 10 * units.Centimeter,
+			15 * units.Centimeter, 20 * units.Centimeter, 25 * units.Centimeter,
+		}
+	}
+	if r.JobRuntime == 0 {
+		r.JobRuntime = 2 * time.Second
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Scenario == 0 {
+		r.Scenario = core.Scenario2
+	}
+	return r
+}
+
+// Run produces the baseline row followed by one row per distance.
+func (r RangeTest) Run() ([]RangeRow, error) {
+	r = r.withDefaults()
+	rows := make([]RangeRow, 0, len(r.Distances)+1)
+
+	measure := func(d units.Distance) (RangeRow, error) {
+		row := RangeRow{Distance: d}
+		for _, pat := range []fio.Pattern{fio.SeqRead, fio.SeqWrite} {
+			rig, err := core.NewRig(r.Scenario, 1*units.Centimeter, r.Seed)
+			if err != nil {
+				return row, err
+			}
+			if d > 0 {
+				rig.MoveSpeaker(d, sig.NewTone(r.Freq))
+			}
+			res, err := fio.NewRunner(rig.Disk, rig.Clock).Run(fio.PaperJob(pat, r.JobRuntime))
+			if err != nil {
+				return row, err
+			}
+			lat := res.Latencies.Mean.Seconds() * 1000
+			if res.NoResponse {
+				lat = -1
+			}
+			if pat == fio.SeqRead {
+				row.ReadMBps, row.ReadLatMs, row.ReadNoResponse = res.ThroughputMBps(), lat, res.NoResponse
+			} else {
+				row.WriteMBps, row.WriteLatMs, row.WriteNoResponse = res.ThroughputMBps(), lat, res.NoResponse
+			}
+		}
+		return row, nil
+	}
+
+	baseline, err := measure(0)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, baseline)
+	for _, d := range r.Distances {
+		row, err := measure(d)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MaxEffectiveDistance returns the largest tested distance at which write
+// throughput lost at least lossFrac of the baseline (the paper finds 25 cm
+// with a measurable loss, "the maximum effective distance").
+func MaxEffectiveDistance(rows []RangeRow, lossFrac float64) (units.Distance, bool) {
+	if len(rows) == 0 || rows[0].Distance != 0 {
+		return 0, false
+	}
+	base := rows[0].WriteMBps
+	var best units.Distance
+	found := false
+	for _, row := range rows[1:] {
+		if base > 0 && 1-row.WriteMBps/base >= lossFrac && row.Distance > best {
+			best = row.Distance
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,261 @@
+// Package blockdev provides the block-device abstraction between the
+// mechanical drive model and the software substrates (filesystem, KV store,
+// workload generators). It stores real bytes (so filesystems and databases
+// round-trip their data), charges virtual time through the drive model, and
+// surfaces drive faults as EIO-style errors exactly where Linux would:
+// buffer I/O errors on the failed request.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"deepnote/internal/hdd"
+)
+
+// Errors surfaced by the device.
+var (
+	// ErrIO is the EIO analogue: the device could not complete the
+	// request. The paper's crash signatures (JBD error -5, buffer I/O
+	// errors) stem from this error reaching the software stack.
+	ErrIO = errors.New("blockdev: I/O error (errno -5)")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("blockdev: device closed")
+)
+
+// EIOErrno is the errno value Linux reports for EIO; Ext4's JBD layer logs
+// journal aborts with this code, which the paper observes ("error code -5").
+const EIOErrno = -5
+
+// Device is the interface the software substrates program against.
+type Device interface {
+	// ReadAt reads len(p) bytes at off, charging virtual time.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes len(p) bytes at off, charging virtual time.
+	WriteAt(p []byte, off int64) (int, error)
+	// Flush forces device caches to media.
+	Flush() error
+	// Size returns the device capacity in bytes.
+	Size() int64
+}
+
+// Stats aggregates request-level accounting.
+type Stats struct {
+	ReadOps, WriteOps     int64
+	ReadBytes, WriteBytes int64
+	ReadErrs, WriteErrs   int64
+	FlushOps, FlushErrs   int64
+	// SilentCorruptions counts adjacent-track squeezes realized in the
+	// backing store (integrity attack surface; zero unless enabled).
+	SilentCorruptions int64
+	// TotalReadLatency and TotalWriteLatency sum per-request service
+	// times, including retries inside the drive.
+	TotalReadLatency, TotalWriteLatency time.Duration
+}
+
+// AvgReadLatency returns the mean read service time, or 0 with no reads.
+func (s Stats) AvgReadLatency() time.Duration {
+	if s.ReadOps == 0 {
+		return 0
+	}
+	return s.TotalReadLatency / time.Duration(s.ReadOps)
+}
+
+// AvgWriteLatency returns the mean write service time, or 0 with no writes.
+func (s Stats) AvgWriteLatency() time.Duration {
+	if s.WriteOps == 0 {
+		return 0
+	}
+	return s.TotalWriteLatency / time.Duration(s.WriteOps)
+}
+
+// Disk is a Device backed by the mechanical drive model plus an in-memory
+// byte store. Byte storage is sparse: only written extents allocate.
+type Disk struct {
+	mu     sync.Mutex
+	drive  *hdd.Drive
+	data   map[int64][]byte // chunk base offset -> chunk
+	closed bool
+	stats  Stats
+	// MaxRequest bounds a single media access; larger requests split.
+	maxRequest int64
+}
+
+const chunkSize = 1 << 16 // 64 KiB backing-store chunks
+
+// NewDisk wraps a drive in a Device.
+func NewDisk(drive *hdd.Drive) *Disk {
+	return &Disk{
+		drive:      drive,
+		data:       make(map[int64][]byte),
+		maxRequest: 1 << 20,
+	}
+}
+
+// Drive exposes the underlying mechanical model (for attack injection).
+func (d *Disk) Drive() *hdd.Drive { return d.drive }
+
+// Size returns the device capacity.
+func (d *Disk) Size() int64 { return d.drive.Capacity() }
+
+// Stats returns a copy of the request counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Close marks the device unusable.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *Disk) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if err := d.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(p) {
+		chunk := min64(int64(len(p)-n), d.maxRequest)
+		res := d.drive.Access(hdd.OpRead, off+int64(n), chunk)
+		d.stats.TotalReadLatency += res.Latency
+		if res.Err != nil {
+			d.stats.ReadErrs++
+			return n, fmt.Errorf("%w: read %d@%d: %v", ErrIO, chunk, off+int64(n), res.Err)
+		}
+		d.copyOut(p[n:n+int(chunk)], off+int64(n))
+		d.stats.ReadOps++
+		d.stats.ReadBytes += chunk
+		n += int(chunk)
+	}
+	return n, nil
+}
+
+// WriteAt implements Device.
+func (d *Disk) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if err := d.checkRange(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(p) {
+		chunk := min64(int64(len(p)-n), d.maxRequest)
+		res := d.drive.Access(hdd.OpWrite, off+int64(n), chunk)
+		d.stats.TotalWriteLatency += res.Latency
+		d.applyCorruptions(res.AdjacentCorruptions)
+		if res.Err != nil {
+			d.stats.WriteErrs++
+			return n, fmt.Errorf("%w: write %d@%d: %v", ErrIO, chunk, off+int64(n), res.Err)
+		}
+		d.copyIn(p[n:n+int(chunk)], off+int64(n))
+		d.stats.WriteOps++
+		d.stats.WriteBytes += chunk
+		n += int(chunk)
+	}
+	return n, nil
+}
+
+// applyCorruptions realizes the drive's silent adjacent-track squeezes in
+// the backing store: the victim region's bytes are overwritten with a
+// corruption pattern. Nothing is reported to the caller — that is the
+// point of a silent integrity failure.
+func (d *Disk) applyCorruptions(offsets []int64) {
+	for _, off := range offsets {
+		if off < 0 || off+4096 > d.Size() {
+			continue
+		}
+		garbage := make([]byte, 4096)
+		for i := range garbage {
+			garbage[i] = byte(0xDE ^ (i * 7) ^ int(off>>12))
+		}
+		d.copyIn(garbage, off)
+		d.stats.SilentCorruptions++
+	}
+}
+
+// Flush implements Device. The disk's write cache drains with one short
+// media access at the last written position; under attack this fails like
+// any other write.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.stats.FlushOps++
+	res := d.drive.Access(hdd.OpWrite, 0, 512)
+	d.stats.TotalWriteLatency += res.Latency
+	if res.Err != nil {
+		d.stats.FlushErrs++
+		return fmt.Errorf("%w: flush: %v", ErrIO, res.Err)
+	}
+	return nil
+}
+
+func (d *Disk) checkRange(off, n int64) error {
+	if off < 0 || n < 0 || off+n > d.Size() {
+		return fmt.Errorf("blockdev: request [%d, %d) outside device of %d bytes", off, off+n, d.Size())
+	}
+	return nil
+}
+
+func (d *Disk) copyOut(p []byte, off int64) {
+	for len(p) > 0 {
+		base := off - off%chunkSize
+		in := off - base
+		avail := chunkSize - in
+		n := min64(int64(len(p)), avail)
+		if c, ok := d.data[base]; ok {
+			copy(p[:n], c[in:in+n])
+		} else {
+			zero(p[:n])
+		}
+		p = p[n:]
+		off += n
+	}
+}
+
+func (d *Disk) copyIn(p []byte, off int64) {
+	for len(p) > 0 {
+		base := off - off%chunkSize
+		in := off - base
+		avail := chunkSize - in
+		n := min64(int64(len(p)), avail)
+		c, ok := d.data[base]
+		if !ok {
+			c = make([]byte, chunkSize)
+			d.data[base] = c
+		}
+		copy(c[in:in+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	d, _ := newDisk(t)
+	payloads := map[int64][]byte{
+		0:       []byte("superblock-ish"),
+		1 << 20: bytes.Repeat([]byte{0xAA}, 100000),
+		5 << 24: []byte("far away extent"),
+	}
+	for off, p := range payloads {
+		if _, err := d.WriteAt(p, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Sparse: far below full device size.
+	if buf.Len() > 1<<22 {
+		t.Fatalf("image size %d, want sparse", buf.Len())
+	}
+	d2, _ := newDisk(t)
+	if err := d2.LoadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for off, want := range payloads {
+		got := make([]byte, len(want))
+		if _, err := d2.ReadAt(got, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("content at %d diverged", off)
+		}
+	}
+	// Unwritten regions stay zero.
+	zero := make([]byte, 64)
+	d2.ReadAt(zero, 1<<30)
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("ghost data in unwritten region")
+		}
+	}
+}
+
+func TestImageEmptyDisk(t *testing.T) {
+	d, _ := newDisk(t)
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := newDisk(t)
+	if err := d2.LoadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	d, _ := newDisk(t)
+	if err := d.LoadImage(bytes.NewReader([]byte("not an image"))); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	// Truncated valid header.
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteAt([]byte("x"), 0)
+	var full bytes.Buffer
+	if err := d.SaveImage(&full); err != nil {
+		t.Fatal(err)
+	}
+	truncated := full.Bytes()[:full.Len()-10]
+	if err := d.LoadImage(bytes.NewReader(truncated)); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("truncated image accepted: %v", err)
+	}
+}
+
+func TestImageLoadReplacesContents(t *testing.T) {
+	d, _ := newDisk(t)
+	d.WriteAt([]byte("original"), 0)
+	var buf bytes.Buffer
+	d.SaveImage(&buf)
+	d.WriteAt([]byte("MUTATED!"), 0)
+	if err := d.LoadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	d.ReadAt(got, 0)
+	if string(got) != "original" {
+		t.Fatalf("load did not restore: %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package campaign orchestrates multi-phase attacks against a monitored
+// victim — the cat-and-mouse the paper's §3 objectives imply. Objective 1
+// (controlled delay induction) becomes most dangerous when it stays under
+// the operator's detection threshold: a duty-cycled attacker keys short
+// tone bursts separated by quiet gaps, trading devastation for stealth.
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/core"
+	"deepnote/internal/detect"
+	"deepnote/internal/sig"
+	"deepnote/internal/trace"
+	"deepnote/internal/units"
+)
+
+// DutyCycle describes the attack's on/off keying. A zero Off means
+// continuous attack.
+type DutyCycle struct {
+	On, Off time.Duration
+}
+
+// Fraction returns the on-air fraction.
+func (d DutyCycle) Fraction() float64 {
+	total := d.On + d.Off
+	if total <= 0 {
+		return 0
+	}
+	return float64(d.On) / float64(total)
+}
+
+// Stealth is a duty-cycled attack against a victim running a monitored
+// write workload.
+type Stealth struct {
+	Scenario core.Scenario
+	Freq     units.Frequency
+	Distance units.Distance
+	Duty     DutyCycle
+	// Duration is the total campaign length.
+	Duration time.Duration
+	// Detector tunes the victim's monitoring.
+	Detector detect.Config
+	Seed     int64
+}
+
+func (s Stealth) withDefaults() Stealth {
+	if s.Scenario == 0 {
+		s.Scenario = core.Scenario2
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.Distance == 0 {
+		s.Distance = 1 * units.Centimeter
+	}
+	if s.Duty.On == 0 {
+		s.Duty.On = 2 * time.Second
+	}
+	if s.Duration == 0 {
+		s.Duration = 60 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Result summarizes the campaign from both sides.
+type Result struct {
+	Spec Stealth
+	// BaselineMBps and CampaignMBps are victim write throughput before
+	// and during the campaign.
+	BaselineMBps, CampaignMBps float64
+	// LossFraction is the victim's relative throughput loss.
+	LossFraction float64
+	// Alarms is how many times the victim's detector fired.
+	Alarms int
+	// MaxSuspicion is the detector's worst window score during the
+	// campaign.
+	MaxSuspicion float64
+	// Timeline is the victim throughput per second.
+	Timeline []trace.Point
+}
+
+// Run executes the campaign: the victim writes continuously through a
+// detection monitor; the attacker keys the tone per the duty cycle.
+func (s Stealth) Run() (Result, error) {
+	s = s.withDefaults()
+	rig, err := core.NewRig(s.Scenario, s.Distance, s.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	mon := detect.NewMonitor(rig.Disk, rig.Clock, s.Detector)
+	meter := trace.NewMeter(rig.Clock, time.Second)
+	origin := rig.Clock.Now()
+	buf := make([]byte, 4096)
+	var off int64
+
+	writeOnce := func() {
+		if _, err := mon.WriteAt(buf, off%(1<<24)); err == nil {
+			meter.Add(4096)
+		}
+		off += 4096
+	}
+	writeFor := func(d time.Duration) {
+		deadline := rig.Clock.Now().Add(d)
+		for rig.Clock.Now().Before(deadline) {
+			writeOnce()
+		}
+	}
+
+	// Baseline phase: train the detector, measure healthy throughput.
+	baselineWindow := 5 * time.Second
+	writeFor(baselineWindow)
+	res := Result{Spec: s, BaselineMBps: meter.MeanMBps(0, baselineWindow)}
+	if res.BaselineMBps <= 0 {
+		return res, fmt.Errorf("campaign: baseline produced no throughput")
+	}
+
+	// Campaign phase.
+	start := rig.Clock.Now()
+	maxSuspicion := 0.0
+	tone := sig.NewTone(s.Freq)
+	for rig.Clock.Now().Sub(start) < s.Duration {
+		rig.ApplyTone(tone)
+		onDeadline := rig.Clock.Now().Add(s.Duty.On)
+		for rig.Clock.Now().Before(onDeadline) {
+			writeOnce()
+			if sus := mon.Detector().Suspicion(); sus > maxSuspicion {
+				maxSuspicion = sus
+			}
+		}
+		rig.Silence()
+		if s.Duty.Off > 0 {
+			offDeadline := rig.Clock.Now().Add(s.Duty.Off)
+			for rig.Clock.Now().Before(offDeadline) {
+				writeOnce()
+				if sus := mon.Detector().Suspicion(); sus > maxSuspicion {
+					maxSuspicion = sus
+				}
+			}
+		}
+	}
+	rig.Silence()
+
+	campaignEnd := rig.Clock.Now().Sub(origin)
+	res.CampaignMBps = meter.MeanMBps(baselineWindow, campaignEnd)
+	res.LossFraction = 1 - res.CampaignMBps/res.BaselineMBps
+	if res.LossFraction < 0 {
+		res.LossFraction = 0
+	}
+	res.Alarms = mon.Detector().Alarms
+	res.MaxSuspicion = maxSuspicion
+	res.Timeline = meter.Buckets()
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"deepnote/internal/core"
+	"deepnote/internal/units"
+)
+
+func testbed(t *testing.T) *core.Testbed {
+	t.Helper()
+	tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestEveryDefenseReducesPeakRatio(t *testing.T) {
+	tb := testbed(t)
+	for _, ev := range EvaluateAll(tb) {
+		if ev.PeakRatioAfter >= ev.PeakRatioBefore {
+			t.Errorf("%s: peak ratio %0.2f did not improve from %0.2f",
+				ev.Defense, ev.PeakRatioAfter, ev.PeakRatioBefore)
+		}
+		if ev.PeakRatioBefore < 1 {
+			t.Errorf("%s: undefended testbed should be vulnerable", ev.Defense)
+		}
+	}
+}
+
+func TestDefenseDoesNotMutateOriginal(t *testing.T) {
+	tb := testbed(t)
+	before := tb.OffTrackRatio(650)
+	for _, d := range []Defense{
+		NewAbsorbentLining(10), NewDampedMount(150),
+		NewStiffenedEnclosure(2), NewServoFeedforward(12),
+	} {
+		_ = d.Apply(tb)
+		if got := tb.OffTrackRatio(650); got != before {
+			t.Errorf("%s mutated the original testbed: %v != %v", d.Name(), got, before)
+		}
+	}
+}
+
+func TestThickerLiningHelpsMore(t *testing.T) {
+	tb := testbed(t)
+	thin := Evaluate(tb, NewAbsorbentLining(5))
+	thick := Evaluate(tb, NewAbsorbentLining(25))
+	if thick.PeakRatioAfter >= thin.PeakRatioAfter {
+		t.Errorf("25 mm lining (%0.2f) should beat 5 mm (%0.2f)",
+			thick.PeakRatioAfter, thin.PeakRatioAfter)
+	}
+	if thick.ThermalPenaltyC <= thin.ThermalPenaltyC {
+		t.Error("thicker lining must cost more thermally")
+	}
+}
+
+func TestServoFeedforwardIsThermallyFree(t *testing.T) {
+	if NewServoFeedforward(12).ThermalPenaltyC() != 0 {
+		t.Fatal("firmware defense should not cost cooling")
+	}
+}
+
+func TestStrongFeedforwardProtects(t *testing.T) {
+	tb := testbed(t)
+	ev := Evaluate(tb, NewServoFeedforward(30))
+	if !ev.Protected {
+		t.Fatalf("30 dB rejection should fully protect: %+v", ev)
+	}
+	if ev.ResidualBandHz != 0 {
+		t.Fatalf("protected testbed should have no residual band, got %v", ev.ResidualBandHz)
+	}
+}
+
+func TestWeakDefenseLeavesResidualBand(t *testing.T) {
+	tb := testbed(t)
+	ev := Evaluate(tb, NewServoFeedforward(3))
+	if ev.Protected {
+		t.Fatal("3 dB rejection should not fully protect at 1 cm")
+	}
+	if ev.ResidualBandHz == 0 {
+		t.Fatal("expected residual vulnerable band")
+	}
+}
+
+func TestDefaultConstructorsClampInputs(t *testing.T) {
+	if NewAbsorbentLining(-1).ThicknessMM != 10 {
+		t.Fatal("lining default")
+	}
+	if NewDampedMount(0).CutoffHz != 150 {
+		t.Fatal("mount default")
+	}
+	if NewStiffenedEnclosure(0.5).Factor != 2 {
+		t.Fatal("stiffening default")
+	}
+	if NewServoFeedforward(-5).RejectionDB != 12 {
+		t.Fatal("feedforward default")
+	}
+}
+
+func TestDampedMountOnFloorScenario(t *testing.T) {
+	tb, err := core.NewTestbed(core.Scenario1, 1*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(tb, NewDampedMount(150))
+	if ev.PeakRatioAfter >= ev.PeakRatioBefore {
+		t.Fatal("damped mount should help the floor-mounted drive too")
+	}
+}
+
+func TestNamesAreDescriptive(t *testing.T) {
+	for _, d := range []Defense{
+		NewAbsorbentLining(10), NewDampedMount(150),
+		NewStiffenedEnclosure(2), NewServoFeedforward(12),
+	} {
+		if d.Name() == "" || !strings.ContainsAny(d.Name(), "abcdefghijklmnopqrstuvwxyz") {
+			t.Errorf("bad name %q", d.Name())
+		}
+	}
+}
+
+func TestEvaluationAgainstWeakerAttack(t *testing.T) {
+	// At 25 cm even modest defenses fully protect.
+	tb, err := core.NewTestbed(core.Scenario2, 25*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(tb, NewServoFeedforward(12))
+	if !ev.Protected {
+		t.Fatalf("12 dB rejection at 25 cm should protect: %+v", ev)
+	}
+}
+
+func TestSuiteComposes(t *testing.T) {
+	tb := testbed(t)
+	suite := Suite{NewServoFeedforward(12), NewDampedMount(150), NewAbsorbentLining(10)}
+	ev := Evaluate(tb, suite)
+	// Defense in depth must beat every individual layer.
+	for _, d := range suite {
+		single := Evaluate(tb, d)
+		if ev.PeakRatioAfter >= single.PeakRatioAfter {
+			t.Errorf("suite (%.3f) should beat %s alone (%.3f)",
+				ev.PeakRatioAfter, d.Name(), single.PeakRatioAfter)
+		}
+	}
+	if !ev.Protected {
+		t.Fatalf("the full stack should protect even at 1 cm: %+v", ev)
+	}
+	// Thermal penalties add.
+	want := suite[0].ThermalPenaltyC() + suite[1].ThermalPenaltyC() + suite[2].ThermalPenaltyC()
+	if got := suite.ThermalPenaltyC(); got != want {
+		t.Fatalf("suite thermal = %v, want %v", got, want)
+	}
+	if !strings.Contains(suite.Name(), " + ") {
+		t.Fatalf("suite name = %q", suite.Name())
+	}
+	if (Suite{}).Name() != "no defense" {
+		t.Fatal("empty suite name")
+	}
+	if (Suite{}).Apply(tb) != tb {
+		t.Fatal("empty suite should pass the testbed through")
+	}
+}

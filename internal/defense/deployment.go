@@ -1,0 +1,54 @@
+package defense
+
+import (
+	"deepnote/internal/core"
+	"deepnote/internal/thermal"
+)
+
+// DeploymentVerdict couples a defense's acoustic evaluation with its
+// thermal consequences: a lining that stops the attack but cooks the drive
+// has traded one availability loss for another — the trade-off §5 warns
+// about.
+type DeploymentVerdict struct {
+	Evaluation
+	// ThermalState is the drive's steady state at the design load with
+	// the defense installed.
+	ThermalState thermal.State
+	// ThrottleFactor is the throughput multiplier heat imposes (1 = no
+	// impact, 0 = thermal shutdown).
+	ThrottleFactor float64
+	// Deployable is true when the defense both blocks the attack and
+	// keeps the drive thermally healthy.
+	Deployable bool
+}
+
+// EvaluateDeployment runs the acoustic evaluation and the thermal model
+// together for a defense at the given sustained load.
+func EvaluateDeployment(tb *core.Testbed, d Defense, tm thermal.Model, loadMBps float64) DeploymentVerdict {
+	ev := Evaluate(tb, d)
+	hot := tm.WithDefensePenalty(d.ThermalPenaltyC())
+	v := DeploymentVerdict{
+		Evaluation:     ev,
+		ThermalState:   hot.StateAt(loadMBps),
+		ThrottleFactor: hot.ThrottleFactor(loadMBps),
+	}
+	v.Deployable = ev.Protected && v.ThermalState == thermal.OK
+	return v
+}
+
+// EvaluateDeploymentAll runs the standard suite through the combined
+// acoustic + thermal evaluation.
+func EvaluateDeploymentAll(tb *core.Testbed, tm thermal.Model, loadMBps float64) []DeploymentVerdict {
+	defenses := []Defense{
+		NewAbsorbentLining(10),
+		NewAbsorbentLining(30),
+		NewDampedMount(150),
+		NewStiffenedEnclosure(2),
+		NewServoFeedforward(12),
+	}
+	out := make([]DeploymentVerdict, 0, len(defenses))
+	for _, d := range defenses {
+		out = append(out, EvaluateDeployment(tb, d, tm, loadMBps))
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package defense
+
+import (
+	"testing"
+
+	"deepnote/internal/core"
+	"deepnote/internal/thermal"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+func TestDeploymentVerdictCombinesAxes(t *testing.T) {
+	tb := testbed(t)
+	tm := thermal.Default(water.Seawater(36))
+	verdicts := EvaluateDeploymentAll(tb, tm, 22.7)
+	if len(verdicts) != 5 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if v.Deployable && (!v.Protected || v.ThermalState != thermal.OK) {
+			t.Errorf("%s: deployable without both axes passing", v.Defense)
+		}
+		if v.ThrottleFactor < 0 || v.ThrottleFactor > 1 {
+			t.Errorf("%s: throttle factor %v", v.Defense, v.ThrottleFactor)
+		}
+	}
+}
+
+func TestFirmwareDefenseNeverThrottles(t *testing.T) {
+	tb := testbed(t)
+	tm := thermal.Default(water.Seawater(36))
+	v := EvaluateDeployment(tb, NewServoFeedforward(12), tm, 22.7)
+	if v.ThermalState != thermal.OK || v.ThrottleFactor != 1 {
+		t.Fatalf("firmware defense should be thermally free: %+v", v)
+	}
+}
+
+func TestThickLiningProtectsButOverheatsInWarmWater(t *testing.T) {
+	// At a long standoff even a lining can protect acoustically — but in
+	// warm shallow water its insulation throttles the drive: the paper's
+	// §5 trade-off realized end to end.
+	tb, err := core.NewTestbed(core.Scenario2, 20*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := thermal.Default(water.Medium{TempC: 29, SalinityPSU: 35, DepthM: 5, AcidityPH: 8})
+	lining := NewAbsorbentLining(30) // +13.5 °C
+	v := EvaluateDeployment(tb, lining, warm, 22.7)
+	if !v.Protected {
+		t.Fatalf("30 mm lining at 20 cm should protect acoustically: %+v", v.Evaluation)
+	}
+	if v.ThermalState == thermal.OK {
+		t.Fatalf("30 mm lining in 29 °C water should overheat: %+v", v)
+	}
+	if v.Deployable {
+		t.Fatal("protected-but-overheating must not be deployable")
+	}
+}
+
+func TestColdWaterMakesSameLiningDeployable(t *testing.T) {
+	tb, err := core.NewTestbed(core.Scenario2, 20*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := thermal.Default(water.Seawater(36)) // 12 °C
+	v := EvaluateDeployment(tb, NewAbsorbentLining(30), cold, 22.7)
+	if !v.Deployable {
+		t.Fatalf("cold water should make the thick lining deployable: %+v", v)
+	}
+}

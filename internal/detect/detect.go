@@ -1,0 +1,180 @@
+// Package detect is the operator-side counterpart of the attack: an
+// anomaly detector that watches a drive's externally observable telemetry
+// (request latency and errors) and raises an alarm when the signature of
+// acoustic interference appears — latencies inflating by orders of
+// magnitude and I/O errors clustering, long before the ~80 s crash horizon
+// of Table 3. The paper's §5 calls for exactly this kind of monitoring
+// groundwork for subsea platforms.
+package detect
+
+import (
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/simclock"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// BaselineOps is how many initial operations train the latency
+	// baseline (default 64).
+	BaselineOps int
+	// WindowOps is the sliding window the suspicion score is computed
+	// over (default 32).
+	WindowOps int
+	// LatencyFactor flags an op as anomalous when it exceeds the
+	// baseline mean by this factor (default 8).
+	LatencyFactor float64
+	// AlarmThreshold is the window fraction of anomalous ops that
+	// raises the alarm (default 0.5).
+	AlarmThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaselineOps <= 0 {
+		c.BaselineOps = 64
+	}
+	if c.WindowOps <= 0 {
+		c.WindowOps = 32
+	}
+	if c.LatencyFactor <= 0 {
+		c.LatencyFactor = 8
+	}
+	if c.AlarmThreshold <= 0 {
+		c.AlarmThreshold = 0.5
+	}
+	return c
+}
+
+// Detector scores a stream of (latency, error) observations.
+type Detector struct {
+	cfg Config
+
+	trainCount int
+	trainSum   time.Duration
+	baseline   time.Duration
+
+	window []bool // true = anomalous
+	pos    int
+	filled bool
+
+	// Alarms counts rising edges of the alarm condition.
+	Alarms int
+	armed  bool
+}
+
+// NewDetector returns an untrained detector.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{cfg: cfg, window: make([]bool, cfg.WindowOps)}
+}
+
+// Baseline returns the trained baseline latency (zero until trained).
+func (d *Detector) Baseline() time.Duration { return d.baseline }
+
+// Trained reports whether the baseline is established.
+func (d *Detector) Trained() bool { return d.trainCount >= d.cfg.BaselineOps }
+
+// Observe feeds one operation's outcome into the detector.
+func (d *Detector) Observe(latency time.Duration, failed bool) {
+	if !d.Trained() {
+		// Errors during training are not baseline material; healthy
+		// deployment precedes monitoring.
+		if !failed {
+			d.trainCount++
+			d.trainSum += latency
+			if d.Trained() {
+				d.baseline = d.trainSum / time.Duration(d.trainCount)
+			}
+		}
+		return
+	}
+	anomalous := failed ||
+		latency > time.Duration(float64(d.baseline)*d.cfg.LatencyFactor)
+	d.window[d.pos] = anomalous
+	d.pos = (d.pos + 1) % len(d.window)
+	if d.pos == 0 {
+		d.filled = true
+	}
+	suspected := d.AttackSuspected()
+	if suspected && !d.armed {
+		d.Alarms++
+	}
+	d.armed = suspected
+}
+
+// Suspicion returns the anomalous fraction of the current window.
+func (d *Detector) Suspicion() float64 {
+	n := len(d.window)
+	if !d.filled {
+		n = d.pos
+	}
+	if n == 0 {
+		return 0
+	}
+	hits := 0
+	limit := len(d.window)
+	if !d.filled {
+		limit = d.pos
+	}
+	for i := 0; i < limit; i++ {
+		if d.window[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// AttackSuspected reports whether the window crosses the alarm threshold.
+func (d *Detector) AttackSuspected() bool {
+	if !d.Trained() || (!d.filled && d.pos < len(d.window)/2) {
+		return false
+	}
+	return d.Suspicion() >= d.cfg.AlarmThreshold
+}
+
+// Monitor wraps a block device, feeding every operation through a
+// Detector. It implements blockdev.Device, so it slots transparently
+// under a filesystem or workload.
+type Monitor struct {
+	dev   blockdev.Device
+	clock simclock.Clock
+	det   *Detector
+}
+
+// NewMonitor wraps dev with telemetry-driven attack detection.
+func NewMonitor(dev blockdev.Device, clock simclock.Clock, cfg Config) *Monitor {
+	return &Monitor{dev: dev, clock: clock, det: NewDetector(cfg)}
+}
+
+// Detector exposes the underlying detector.
+func (m *Monitor) Detector() *Detector { return m.det }
+
+// ReadAt implements blockdev.Device.
+func (m *Monitor) ReadAt(p []byte, off int64) (int, error) {
+	start := m.clock.Now()
+	n, err := m.dev.ReadAt(p, off)
+	m.det.Observe(m.clock.Now().Sub(start), err != nil)
+	return n, err
+}
+
+// WriteAt implements blockdev.Device.
+func (m *Monitor) WriteAt(p []byte, off int64) (int, error) {
+	start := m.clock.Now()
+	n, err := m.dev.WriteAt(p, off)
+	m.det.Observe(m.clock.Now().Sub(start), err != nil)
+	return n, err
+}
+
+// Flush implements blockdev.Device.
+func (m *Monitor) Flush() error {
+	start := m.clock.Now()
+	err := m.dev.Flush()
+	m.det.Observe(m.clock.Now().Sub(start), err != nil)
+	return err
+}
+
+// Size implements blockdev.Device.
+func (m *Monitor) Size() int64 { return m.dev.Size() }
+
+var _ blockdev.Device = (*Monitor)(nil)

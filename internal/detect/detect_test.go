@@ -1,0 +1,145 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/hdd"
+	"deepnote/internal/simclock"
+)
+
+func newMonitored(t *testing.T) (*Monitor, *blockdev.Disk, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	drive, err := hdd.NewDrive(hdd.Barracuda500(), clock, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := blockdev.NewDisk(drive)
+	return NewMonitor(disk, clock, Config{}), disk, clock
+}
+
+func seqWrite(m *Monitor, n int) {
+	buf := make([]byte, 4096)
+	var off int64
+	for i := 0; i < n; i++ {
+		m.WriteAt(buf, off)
+		off += 4096
+	}
+}
+
+func TestDetectorTrainsOnHealthyTraffic(t *testing.T) {
+	m, _, _ := newMonitored(t)
+	seqWrite(m, 80)
+	d := m.Detector()
+	if !d.Trained() {
+		t.Fatal("detector should be trained after 80 ops")
+	}
+	if d.Baseline() <= 0 || d.Baseline() > 5*time.Millisecond {
+		t.Fatalf("baseline = %v", d.Baseline())
+	}
+	if d.AttackSuspected() {
+		t.Fatal("healthy traffic raised an alarm")
+	}
+	if d.Suspicion() != 0 {
+		t.Fatalf("suspicion = %v on healthy traffic", d.Suspicion())
+	}
+}
+
+func TestDetectorRaisesAlarmUnderAttack(t *testing.T) {
+	m, disk, _ := newMonitored(t)
+	seqWrite(m, 80) // train
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.25})
+	seqWrite(m, 40)
+	d := m.Detector()
+	if !d.AttackSuspected() {
+		t.Fatalf("attack not detected; suspicion %.2f", d.Suspicion())
+	}
+	if d.Alarms != 1 {
+		t.Fatalf("alarms = %d, want 1 rising edge", d.Alarms)
+	}
+}
+
+func TestDetectorDetectsDeadDriveFast(t *testing.T) {
+	m, disk, _ := newMonitored(t)
+	seqWrite(m, 80)
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 2.3})
+	// Every op now errors; the alarm must fire well within the ≈80 s
+	// crash horizon of Table 3.
+	start := m.clock.Now()
+	seqWrite(m, 40)
+	if !m.Detector().AttackSuspected() {
+		t.Fatal("dead drive not detected")
+	}
+	if elapsed := m.clock.Now().Sub(start); elapsed > 60*time.Second {
+		t.Fatalf("detection took %v, want well under the crash horizon", elapsed)
+	}
+}
+
+func TestDetectorClearsAfterAttack(t *testing.T) {
+	m, disk, _ := newMonitored(t)
+	seqWrite(m, 80)
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.25})
+	seqWrite(m, 40)
+	if !m.Detector().AttackSuspected() {
+		t.Fatal("attack not detected")
+	}
+	disk.Drive().SetVibration(hdd.Quiet())
+	seqWrite(m, 64) // window refills with healthy ops
+	if m.Detector().AttackSuspected() {
+		t.Fatal("alarm stuck after attack ended")
+	}
+	// A second attack raises a second alarm edge.
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.25})
+	seqWrite(m, 40)
+	if m.Detector().Alarms != 2 {
+		t.Fatalf("alarms = %d, want 2", m.Detector().Alarms)
+	}
+}
+
+func TestDetectorIgnoresErrorsDuringTraining(t *testing.T) {
+	d := NewDetector(Config{BaselineOps: 4, WindowOps: 4})
+	d.Observe(time.Millisecond, true) // ignored
+	for i := 0; i < 4; i++ {
+		d.Observe(time.Millisecond, false)
+	}
+	if !d.Trained() {
+		t.Fatal("not trained")
+	}
+	if d.Baseline() != time.Millisecond {
+		t.Fatalf("baseline = %v", d.Baseline())
+	}
+}
+
+func TestDetectorNeedsHalfWindowBeforeAlarming(t *testing.T) {
+	d := NewDetector(Config{BaselineOps: 2, WindowOps: 10})
+	d.Observe(time.Millisecond, false)
+	d.Observe(time.Millisecond, false)
+	// One anomalous op right after training must not alarm.
+	d.Observe(time.Second, false)
+	if d.AttackSuspected() {
+		t.Fatal("single sample alarmed")
+	}
+}
+
+func TestMonitorPassesThroughData(t *testing.T) {
+	m, _, _ := newMonitored(t)
+	data := []byte("telemetry must not corrupt data")
+	if _, err := m.WriteAt(data, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := m.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("monitor corrupted data path")
+	}
+	if m.Size() <= 0 {
+		t.Fatal("size passthrough")
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

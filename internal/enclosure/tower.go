@@ -1,0 +1,151 @@
+package enclosure
+
+import (
+	"fmt"
+	"math"
+
+	"deepnote/internal/units"
+	"deepnote/internal/vibration"
+)
+
+// StorageTower models a 5-in-3 hot-swap drive cage (the paper uses a
+// Supermicro CSE-M35TQB) standing inside the container. The tower's sheet-
+// metal frame adds its own resonances and couples the container's wall
+// vibration into the mounted drives; which slot the drive occupies modifies
+// the coupling slightly (lower slots sit closer to the anchored base).
+type StorageTower struct {
+	// Name identifies the cage.
+	Name string
+	// Slots is the number of drive bays.
+	Slots int
+	// FrameModes are the cage's structural resonances.
+	FrameModes vibration.Stack
+	// BaseGain is the slot-independent coupling through the cage frame.
+	BaseGain float64
+	// SlotGradient is the per-slot multiplicative step: slot 0 (bottom)
+	// couples at BaseGain, each higher slot multiplies by (1+SlotGradient).
+	SlotGradient float64
+}
+
+// SupermicroCSEM35TQB returns the paper's storage tower model.
+func SupermicroCSEM35TQB() StorageTower {
+	return StorageTower{
+		Name:  "Supermicro CSE-M35TQB 5-in-3",
+		Slots: 5,
+		FrameModes: vibration.Stack{
+			{F0: 600 * units.Hz, Q: 2.5, Gain: 0.5},
+			{F0: 1500 * units.Hz, Q: 2.0, Gain: 0.3},
+		},
+		BaseGain:     0.95,
+		SlotGradient: 0.03,
+	}
+}
+
+// Validate reports whether the tower parameters are consistent.
+func (t StorageTower) Validate() error {
+	if t.Slots <= 0 {
+		return fmt.Errorf("enclosure: tower %q must have at least one slot", t.Name)
+	}
+	if t.BaseGain <= 0 {
+		return fmt.Errorf("enclosure: tower %q base gain must be positive", t.Name)
+	}
+	if t.SlotGradient < 0 {
+		return fmt.Errorf("enclosure: tower %q slot gradient must be non-negative", t.Name)
+	}
+	return t.FrameModes.Validate()
+}
+
+// SlotGain returns the coupling gain for the given slot (0 = bottom).
+// Out-of-range slots are clamped.
+func (t StorageTower) SlotGain(slot int) float64 {
+	if slot < 0 {
+		slot = 0
+	}
+	if slot >= t.Slots {
+		slot = t.Slots - 1
+	}
+	g := t.BaseGain
+	for i := 0; i < slot; i++ {
+		g *= 1 + t.SlotGradient
+	}
+	return g
+}
+
+// CouplingGain returns the tower's frequency-dependent coupling for a drive
+// in the given slot: frame base path plus modal amplification.
+func (t StorageTower) CouplingGain(f units.Frequency, slot int) float64 {
+	modal := t.FrameModes.Response(f)
+	base := t.SlotGain(slot)
+	// Power-sum the direct frame path with the modal path so the coupling
+	// never dips below the structural baseline.
+	return base * math.Hypot(1, modal)
+}
+
+// Mount describes how the drive is fixed inside the container: either
+// directly on the container floor (Scenario 1) or in a tower slot
+// (Scenarios 2 and 3).
+type Mount struct {
+	// Tower is nil when the drive sits on the container floor.
+	Tower *StorageTower
+	// Slot is the tower bay index (0 = bottom); the paper uses the second
+	// level from the bottom (slot 1).
+	Slot int
+	// FloorGain is the direct-coupling gain used when Tower is nil; a
+	// drive lying on the container floor picks up wall vibration through
+	// its base with a mild low-frequency emphasis.
+	FloorGain float64
+}
+
+// FloorMount returns the Scenario 1 mount (drive on the container floor).
+func FloorMount() Mount { return Mount{FloorGain: 1.1} }
+
+// TowerMount returns a mount in the given slot of the tower.
+func TowerMount(t StorageTower, slot int) Mount { return Mount{Tower: &t, Slot: slot} }
+
+// Gain returns the mount's coupling gain at frequency f.
+func (m Mount) Gain(f units.Frequency) float64 {
+	if m.Tower == nil {
+		if m.FloorGain > 0 {
+			return m.FloorGain
+		}
+		return 1
+	}
+	return m.Tower.CouplingGain(f, m.Slot)
+}
+
+// Validate reports whether the mount is consistent.
+func (m Mount) Validate() error {
+	if m.Tower != nil {
+		if err := m.Tower.Validate(); err != nil {
+			return err
+		}
+		if m.Slot < 0 || m.Slot >= m.Tower.Slots {
+			return fmt.Errorf("enclosure: slot %d out of range [0, %d)", m.Slot, m.Tower.Slots)
+		}
+		return nil
+	}
+	if m.FloorGain < 0 {
+		return fmt.Errorf("enclosure: floor gain must be non-negative")
+	}
+	return nil
+}
+
+// Assembly is the full structural path: container plus mount.
+type Assembly struct {
+	Container Container
+	Mount     Mount
+}
+
+// StructuralGain returns the end-to-end linear gain from incident external
+// pressure to vibration excitation at the drive's mounting points.
+func (a Assembly) StructuralGain(f units.Frequency) float64 {
+	return a.Container.TransmissionGain(f) * a.Mount.Gain(f)
+}
+
+// Validate reports whether the assembly is consistent.
+func (a Assembly) Validate() error {
+	if err := a.Container.Validate(); err != nil {
+		return err
+	}
+	return a.Mount.Validate()
+}

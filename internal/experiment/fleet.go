@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"deepnote/internal/core"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// Fleet models a small underwater data center as M containers of N drives
+// each, and asks the scaling question the paper's introduction implies:
+// how much of the facility can an attacker with k speakers take offline?
+// One speaker per container is assumed (the paper's geometry), with
+// non-targeted containers far enough away that spreading protects them.
+
+// FleetSpec describes the facility and attack.
+type FleetSpec struct {
+	// Containers and DrivesPerContainer set the facility size.
+	Containers, DrivesPerContainer int
+	// Speakers is the attacker's simultaneous source count.
+	Speakers int
+	// Freq is the attack tone.
+	Freq units.Frequency
+	// ContainerSpacing is the distance from a speaker to the *next*
+	// container over (default 2 m).
+	ContainerSpacing units.Distance
+	Seed             int64
+}
+
+func (s FleetSpec) withDefaults() FleetSpec {
+	if s.Containers <= 0 {
+		s.Containers = 4
+	}
+	if s.DrivesPerContainer <= 0 {
+		s.DrivesPerContainer = 5
+	}
+	if s.Speakers < 0 {
+		s.Speakers = 0
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.ContainerSpacing == 0 {
+		s.ContainerSpacing = 2 * units.Meter
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// FleetResult reports facility-level availability.
+type FleetResult struct {
+	Spec FleetSpec
+	// DrivesTotal and DrivesFaulting count the facility.
+	DrivesTotal, DrivesFaulting int
+	// Availability is the fraction of drives still below the write
+	// fault threshold.
+	Availability float64
+}
+
+// FleetAvailability computes, analytically from the off-track model, how
+// many drives fault when k containers are targeted point-blank and the
+// rest receive only the spill-over from the nearest speaker.
+func FleetAvailability(spec FleetSpec) (FleetResult, error) {
+	spec = spec.withDefaults()
+	res := FleetResult{Spec: spec, DrivesTotal: spec.Containers * spec.DrivesPerContainer}
+	tone := sig.NewTone(spec.Freq)
+	for c := 0; c < spec.Containers; c++ {
+		// Distance to the nearest speaker: point blank for targeted
+		// containers, spacing-scaled for the rest.
+		var d units.Distance
+		if c < spec.Speakers {
+			d = 1 * units.Centimeter
+		} else if spec.Speakers == 0 {
+			// No attack at all.
+			continue
+		} else {
+			hops := c - spec.Speakers + 1
+			d = spec.ContainerSpacing * units.Distance(hops)
+		}
+		tb, err := core.NewTestbed(core.Scenario2, d)
+		if err != nil {
+			return res, err
+		}
+		for slot := 0; slot < spec.DrivesPerContainer; slot++ {
+			asm := tb.Assembly
+			if asm.Mount.Tower != nil {
+				mount := *asm.Mount.Tower
+				asm.Mount.Slot = slot % mount.Slots
+			}
+			probe := *tb
+			probe.Assembly = asm
+			if probe.VibrationFor(tone).Amplitude >= probe.DriveModel.WriteFaultFrac {
+				res.DrivesFaulting++
+			}
+		}
+	}
+	res.Availability = 1 - float64(res.DrivesFaulting)/float64(res.DrivesTotal)
+	return res, nil
+}
+
+// FleetSweep runs FleetAvailability for every speaker count 0..Containers.
+func FleetSweep(spec FleetSpec) ([]FleetResult, error) {
+	spec = spec.withDefaults()
+	out := make([]FleetResult, 0, spec.Containers+1)
+	for k := 0; k <= spec.Containers; k++ {
+		s := spec
+		s.Speakers = k
+		r, err := FleetAvailability(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FleetReport renders the sweep.
+func FleetReport(rows []FleetResult) *report.Table {
+	tb := report.NewTable(
+		"Facility availability vs attacker speakers (write-fault criterion)",
+		"Speakers", "Drives faulting", "Drives total", "Availability")
+	for _, r := range rows {
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Spec.Speakers),
+			fmt.Sprintf("%d", r.DrivesFaulting),
+			fmt.Sprintf("%d", r.DrivesTotal),
+			fmt.Sprintf("%.0f%%", r.Availability*100))
+	}
+	return tb
+}

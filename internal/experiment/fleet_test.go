@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"deepnote/internal/units"
+)
+
+func TestFleetNoAttackFullyAvailable(t *testing.T) {
+	r, err := FleetAvailability(FleetSpec{Speakers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability != 1 || r.DrivesFaulting != 0 {
+		t.Fatalf("idle facility: %+v", r)
+	}
+}
+
+func TestFleetOneSpeakerOneContainer(t *testing.T) {
+	r, err := FleetAvailability(FleetSpec{Containers: 4, DrivesPerContainer: 5, Speakers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The targeted container loses all five drives; 2 m spacing protects
+	// the neighbours (spreading from 1 cm reference is ≈46 dB).
+	if r.DrivesFaulting != 5 {
+		t.Fatalf("one speaker should take exactly one container: %+v", r)
+	}
+	if r.Availability != 0.75 {
+		t.Fatalf("availability = %v, want 0.75", r.Availability)
+	}
+}
+
+func TestFleetSweepMonotone(t *testing.T) {
+	rows, err := FleetSweep(FleetSpec{Containers: 4, DrivesPerContainer: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Availability > rows[i-1].Availability {
+			t.Fatalf("availability rose with more speakers: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+	if last := rows[len(rows)-1]; last.Availability != 0 {
+		t.Fatalf("speaker per container should zero the facility: %+v", last)
+	}
+	rep := FleetReport(rows).String()
+	if !strings.Contains(rep, "Availability") {
+		t.Fatalf("report rendering:\n%s", rep)
+	}
+}
+
+func TestFleetTightSpacingLeaksAcrossContainers(t *testing.T) {
+	// If containers sit very close together, one speaker's spill-over
+	// reaches the neighbour too.
+	r, err := FleetAvailability(FleetSpec{
+		Containers: 4, DrivesPerContainer: 5, Speakers: 1,
+		ContainerSpacing: 4 * units.Centimeter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DrivesFaulting <= 5 {
+		t.Fatalf("4 cm spacing should leak into the next container: %+v", r)
+	}
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"deepnote/internal/core"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// Integrity demonstrates the silent-corruption surface the paper's
+// introduction attributes to acoustic interference ("availability and
+// integrity"): during a *marginal* attack — too weak to block writes, so
+// nothing looks wrong — successful writes squeeze neighboring tracks, and
+// data written earlier quietly rots. Availability monitoring alone would
+// never notice.
+type Integrity struct {
+	Scenario core.Scenario
+	Freq     units.Frequency
+	// Distance puts the drive in the marginal zone (default 18 cm:
+	// amplitude just under the write gate at 650 Hz, Scenario 2).
+	Distance units.Distance
+	// CorruptionProb is the per-marginal-write squeeze probability
+	// (default 0.05).
+	CorruptionProb float64
+	// Blocks is the size of the victim data set in 4 KiB blocks
+	// (default 256).
+	Blocks int
+	Seed   int64
+}
+
+func (s Integrity) withDefaults() Integrity {
+	if s.Scenario == 0 {
+		s.Scenario = core.Scenario2
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.Distance == 0 {
+		s.Distance = 18 * units.Centimeter
+	}
+	if s.CorruptionProb == 0 {
+		s.CorruptionProb = 0.05
+	}
+	if s.Blocks == 0 {
+		s.Blocks = 256
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// IntegrityResult reports the damage.
+type IntegrityResult struct {
+	Spec Integrity
+	// WritesAttempted and WritesFailed describe the attack-phase
+	// workload; a marginal attack has few or no failures.
+	WritesAttempted, WritesFailed int
+	// CorruptedBlocks of TotalBlocks in the victim data set differ from
+	// what was written.
+	CorruptedBlocks, TotalBlocks int
+}
+
+// Run executes the experiment: write a known data set quietly, attack at
+// the marginal distance while writing the neighboring track, silence, and
+// audit the original data set.
+func (s Integrity) Run() (IntegrityResult, error) {
+	s = s.withDefaults()
+	tb, err := core.NewTestbed(s.Scenario, s.Distance)
+	if err != nil {
+		return IntegrityResult{}, err
+	}
+	tb.DriveModel.AdjacentCorruptionProb = s.CorruptionProb
+	rig, err := core.NewRigFromTestbed(tb, s.Seed)
+	if err != nil {
+		return IntegrityResult{}, err
+	}
+
+	const blockSize = 4096
+	track := tb.DriveModel.TrackBytes
+	victimBase := 4 * track
+
+	pattern := func(i int) []byte {
+		b := make([]byte, blockSize)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		return b
+	}
+
+	// Phase 1: quiet write of the victim data set.
+	for i := 0; i < s.Blocks; i++ {
+		if _, err := rig.Disk.WriteAt(pattern(i), victimBase+int64(i*blockSize)); err != nil {
+			return IntegrityResult{}, fmt.Errorf("experiment: seeding victim data: %w", err)
+		}
+	}
+
+	// Phase 2: marginal attack while a workload writes the next track
+	// over (physically adjacent to the victim's).
+	res := IntegrityResult{Spec: s, TotalBlocks: s.Blocks}
+	rig.ApplyTone(sig.NewTone(s.Freq))
+	writerBase := victimBase + track
+	for i := 0; i < s.Blocks; i++ {
+		res.WritesAttempted++
+		if _, err := rig.Disk.WriteAt(pattern(i), writerBase+int64(i*blockSize)); err != nil {
+			res.WritesFailed++
+		}
+	}
+	rig.Silence()
+
+	// Phase 3: audit the victim data set.
+	buf := make([]byte, blockSize)
+	for i := 0; i < s.Blocks; i++ {
+		if _, err := rig.Disk.ReadAt(buf, victimBase+int64(i*blockSize)); err != nil {
+			res.CorruptedBlocks++
+			continue
+		}
+		if !bytes.Equal(buf, pattern(i)) {
+			res.CorruptedBlocks++
+		}
+	}
+	return res, nil
+}
+
+// Report renders the result.
+func (r IntegrityResult) Report() *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Integrity attack: marginal tone at %v, %v", r.Spec.Freq, r.Spec.Distance),
+		"Metric", "Value")
+	tb.AddRow("attack-phase writes", fmt.Sprintf("%d (%d failed)", r.WritesAttempted, r.WritesFailed))
+	tb.AddRow("victim blocks audited", fmt.Sprintf("%d", r.TotalBlocks))
+	tb.AddRow("victim blocks corrupted", fmt.Sprintf("%d (%.1f%%)",
+		r.CorruptedBlocks, 100*float64(r.CorruptedBlocks)/float64(r.TotalBlocks)))
+	return tb
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+
+	"deepnote/internal/acoustics"
+	"deepnote/internal/core"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/report"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+// NatickRow compares enclosure classes against attacker tiers: the §5
+// "Data Center Structure and HDD types" question — does a production
+// steel vessel change the attack calculus?
+type NatickRow struct {
+	Enclosure string
+	Tier      acoustics.SourceClass
+	// CriticalSPL is the incident level that faults writes at 650 Hz.
+	CriticalSPL units.SPL
+	// MaxRange is the tier's standoff range against this enclosure in
+	// seawater; Unreachable when even point-blank falls short.
+	MaxRange    units.Distance
+	Unreachable bool
+}
+
+// waterAtNatick returns the open-sea condition at Microsoft's ≈36 m test
+// deployment depth.
+func waterAtNatick() water.Medium { return water.Seawater(36) }
+
+// natickTestbed builds a testbed with the given container, tower-mounted
+// drive, at 1 cm.
+func natickTestbed(c enclosure.Container) (*core.Testbed, error) {
+	tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+	if err != nil {
+		return nil, err
+	}
+	tb.Assembly.Container = c
+	return tb, nil
+}
+
+// NatickAnalysis computes the enclosure × attacker-tier matrix at 650 Hz
+// in open seawater at Natick's ≈36 m depth.
+func NatickAnalysis() ([]NatickRow, error) {
+	containers := []enclosure.Container{
+		enclosure.PlasticContainer(),
+		enclosure.AluminumContainer(),
+		enclosure.NatickVessel(),
+	}
+	sea := waterAtNatick()
+	var rows []NatickRow
+	for _, c := range containers {
+		tb, err := natickTestbed(c)
+		if err != nil {
+			return nil, err
+		}
+		crit, ok := tb.CriticalIncidentSPL(650)
+		if !ok {
+			return nil, fmt.Errorf("experiment: no critical SPL for %s", c.Name)
+		}
+		for _, tier := range acoustics.AttackerTiers() {
+			row := NatickRow{Enclosure: c.Name, Tier: tier, CriticalSPL: crit}
+			d, reachable := acoustics.MaxAttackRange(tier.Level, tier.RefDist, crit, 650, sea, SearchCap)
+			row.MaxRange = d
+			row.Unreachable = !reachable
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// NatickReport renders the matrix.
+func NatickReport(rows []NatickRow) *report.Table {
+	tb := report.NewTable(
+		"Enclosure hardening vs attacker tier (650 Hz, seawater at 36 m)",
+		"Enclosure", "Attacker", "Critical SPL", "Max standoff")
+	for _, r := range rows {
+		rng := r.MaxRange.String()
+		if r.Unreachable {
+			rng = "unreachable"
+		} else if r.MaxRange >= SearchCap {
+			rng = ">= " + SearchCap.String()
+		}
+		tb.AddRow(r.Enclosure, r.Tier.Name,
+			fmt.Sprintf("%.0f dB re 1µPa", r.CriticalSPL.DB), rng)
+	}
+	return tb
+}

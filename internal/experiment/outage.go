@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/core"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/trace"
+	"deepnote/internal/units"
+)
+
+// ControlledOutage realizes the paper's §3 first attacker objective: a
+// controlled throughput loss of a victim drive for a specific amount of
+// time, to induce application delays — then full recovery. The result is
+// the throughput timeline a monitoring system would record.
+type ControlledOutage struct {
+	Scenario core.Scenario
+	Freq     units.Frequency
+	Distance units.Distance
+	// Before, During, After are the phase durations.
+	Before, During, After time.Duration
+	// Bucket is the timeline resolution.
+	Bucket time.Duration
+	Seed   int64
+}
+
+func (c ControlledOutage) withDefaults() ControlledOutage {
+	if c.Scenario == 0 {
+		c.Scenario = core.Scenario2
+	}
+	if c.Freq == 0 {
+		c.Freq = 650 * units.Hz
+	}
+	if c.Distance == 0 {
+		c.Distance = 1 * units.Centimeter
+	}
+	if c.Before == 0 {
+		c.Before = 5 * time.Second
+	}
+	if c.During == 0 {
+		c.During = 10 * time.Second
+	}
+	if c.After == 0 {
+		c.After = 5 * time.Second
+	}
+	if c.Bucket == 0 {
+		c.Bucket = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OutageResult is the measured timeline.
+type OutageResult struct {
+	Spec   ControlledOutage
+	Points []trace.Point
+	// BeforeMBps, DuringMBps, AfterMBps are phase means.
+	BeforeMBps, DuringMBps, AfterMBps float64
+}
+
+// Run executes the outage: a continuously writing workload, with the tone
+// keyed on for exactly the During window.
+func (c ControlledOutage) Run() (OutageResult, error) {
+	c = c.withDefaults()
+	rig, err := core.NewRig(c.Scenario, c.Distance, c.Seed)
+	if err != nil {
+		return OutageResult{}, err
+	}
+	meter := trace.NewMeter(rig.Clock, c.Bucket)
+	buf := make([]byte, 4096)
+	var off int64
+	phaseEnd := func(d time.Duration) time.Time { return rig.Clock.Now().Add(d) }
+
+	writeUntil := func(deadline time.Time) {
+		for rig.Clock.Now().Before(deadline) {
+			if _, err := rig.Disk.WriteAt(buf, off%(1<<24)); err == nil {
+				meter.Add(4096)
+			}
+			off += 4096
+		}
+	}
+
+	writeUntil(phaseEnd(c.Before))
+	rig.ApplyTone(sig.NewTone(c.Freq))
+	writeUntil(phaseEnd(c.During))
+	rig.Silence()
+	writeUntil(phaseEnd(c.After))
+
+	res := OutageResult{Spec: c, Points: meter.Buckets()}
+	res.BeforeMBps = meter.MeanMBps(0, c.Before)
+	res.DuringMBps = meter.MeanMBps(c.Before, c.Before+c.During)
+	res.AfterMBps = meter.MeanMBps(c.Before+c.During, c.Before+c.During+c.After)
+	return res, nil
+}
+
+// Chart renders the timeline.
+func (r OutageResult) Chart() *report.Chart {
+	s := report.Series{Name: "write MB/s"}
+	for _, p := range r.Points {
+		s.X = append(s.X, p.T.Seconds())
+		s.Y = append(s.Y, p.V)
+	}
+	return &report.Chart{
+		Title: fmt.Sprintf("Controlled outage: %v keyed for %.0fs (attack window %.0f-%.0fs)",
+			r.Spec.Freq, r.Spec.During.Seconds(),
+			r.Spec.Before.Seconds(), (r.Spec.Before + r.Spec.During).Seconds()),
+		XLabel: "time (s)",
+		YLabel: "MB/s",
+		Series: []report.Series{s},
+	}
+}

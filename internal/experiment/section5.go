@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+
+	"deepnote/internal/acoustics"
+	"deepnote/internal/core"
+	"deepnote/internal/report"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+// Section5 quantifies the paper's §5 "Challenges & Open Problems"
+// discussion: how water conditions and attacker capability change the
+// attack's effective range. The paper raises these as open questions; the
+// model lets us answer them numerically.
+
+// RangeScenario is one (attacker tier, water condition) cell.
+type RangeScenario struct {
+	Tier   acoustics.SourceClass
+	Water  string
+	Medium water.Medium
+	Freq   units.Frequency
+	// RequiredSPL is the incident level that faults writes at Freq.
+	RequiredSPL units.SPL
+	// MaxRange is how far the tier's source can stand off and still
+	// deliver RequiredSPL; capped at SearchCap.
+	MaxRange units.Distance
+	// Unreachable is true when even point-blank delivery falls short.
+	Unreachable bool
+}
+
+// SearchCap bounds the §5 range search (10 km — far beyond any plausible
+// standoff attack).
+const SearchCap = 10 * units.Kilometer
+
+// Section5Ranges computes the effective-range matrix at the given
+// frequency for Scenario 2's enclosure across attacker tiers and water
+// conditions.
+func Section5Ranges(f units.Frequency) ([]RangeScenario, error) {
+	tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+	if err != nil {
+		return nil, err
+	}
+	required, ok := tb.CriticalIncidentSPL(f)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no critical SPL at %v", f)
+	}
+	waters := []struct {
+		name string
+		m    water.Medium
+	}{
+		{"freshwater tank", water.FreshwaterTank()},
+		{"sea, 20 m depth", water.Seawater(20)},
+		{"sea, 36 m depth (Natick)", water.Seawater(36)},
+		{"Baltic, 50 m", water.BalticAt50m()},
+	}
+	var out []RangeScenario
+	for _, tier := range acoustics.AttackerTiers() {
+		for _, w := range waters {
+			rs := RangeScenario{
+				Tier: tier, Water: w.name, Medium: w.m, Freq: f, RequiredSPL: required,
+			}
+			d, reachable := acoustics.MaxAttackRange(tier.Level, tier.RefDist, required, f, w.m, SearchCap)
+			rs.MaxRange = d
+			rs.Unreachable = !reachable
+			out = append(out, rs)
+		}
+	}
+	return out, nil
+}
+
+// Section5Report renders the range matrix.
+func Section5Report(rows []RangeScenario) *report.Table {
+	tb := report.NewTable(
+		"Section 5 analysis: effective attack range vs. attacker tier and water",
+		"Attacker", "Water", "Required SPL", "Max range")
+	for _, r := range rows {
+		rng := r.MaxRange.String()
+		if r.Unreachable {
+			rng = "unreachable"
+		} else if r.MaxRange >= SearchCap {
+			rng = ">= " + SearchCap.String()
+		}
+		tb.AddRow(r.Tier.Name, r.Water, fmt.Sprintf("%.0f dB re 1µPa", r.RequiredSPL.DB), rng)
+	}
+	return tb
+}
+
+// SoundSpeedSensitivity reports how §5's water parameters move the speed
+// of sound (and hence arrival timing/refraction) around a base condition.
+type SoundSpeedSensitivity struct {
+	Parameter string
+	Delta     string
+	BaseMS    float64
+	NewMS     float64
+}
+
+// Section5SoundSpeed computes the sensitivity table the paper's §5
+// narrates qualitatively ("as temperature increases, sound speed
+// increases...").
+func Section5SoundSpeed() []SoundSpeedSensitivity {
+	base := water.Seawater(20)
+	rows := []struct {
+		name  string
+		delta string
+		m     water.Medium
+	}{
+		{"temperature", "+5 °C", func() water.Medium { m := base; m.TempC += 5; return m }()},
+		{"salinity", "+5 PSU", func() water.Medium { m := base; m.SalinityPSU += 5; return m }()},
+		{"depth", "+80 m", func() water.Medium { m := base; m.DepthM += 80; return m }()},
+	}
+	out := make([]SoundSpeedSensitivity, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, SoundSpeedSensitivity{
+			Parameter: r.name,
+			Delta:     r.delta,
+			BaseMS:    base.SoundSpeed(),
+			NewMS:     r.m.SoundSpeed(),
+		})
+	}
+	return out
+}
+
+// Section5SoundSpeedReport renders the sensitivity table.
+func Section5SoundSpeedReport(rows []SoundSpeedSensitivity) *report.Table {
+	tb := report.NewTable(
+		"Section 5 analysis: sound speed sensitivity (base: sea at 20 m)",
+		"Parameter", "Change", "Base c (m/s)", "New c (m/s)", "Delta (m/s)")
+	for _, r := range rows {
+		tb.AddRow(r.Parameter, r.Delta,
+			fmt.Sprintf("%.1f", r.BaseMS),
+			fmt.Sprintf("%.1f", r.NewMS),
+			fmt.Sprintf("%+.1f", r.NewMS-r.BaseMS))
+	}
+	return tb
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"deepnote/internal/acoustics"
+	"deepnote/internal/core"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+func TestCriticalIncidentSPLConsistency(t *testing.T) {
+	// The critical SPL must sit right where the testbed's off-track
+	// ratio crosses 1 as the source level varies.
+	tb, err := core.NewTestbed(core.Scenario2, 1*units.Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, ok := tb.CriticalIncidentSPL(650)
+	if !ok {
+		t.Fatal("no critical SPL at 650 Hz")
+	}
+	// At 140 dB incident the ratio is ≈15.6, i.e. 20·log10(15.6) ≈ 24 dB
+	// above critical: critical should be ≈116 dB re 1 µPa.
+	if crit.DB < 110 || crit.DB > 122 {
+		t.Fatalf("critical SPL = %.1f dB, want ≈116", crit.DB)
+	}
+}
+
+func TestMaxAttackRangeMonotoneInSourceLevel(t *testing.T) {
+	m := water.Seawater(20)
+	required := units.WaterSPL(116)
+	prev := units.Distance(0)
+	for _, lvl := range []float64{140, 160, 180, 200, 220} {
+		d, ok := acoustics.MaxAttackRange(units.WaterSPL(lvl), 1*units.Meter, required, 650, m, SearchCap)
+		if !ok {
+			t.Fatalf("source %v dB cannot even reach point blank", lvl)
+		}
+		if d < prev || (d == prev && d < SearchCap) {
+			t.Fatalf("range not increasing with source level at %v dB: %v <= %v", lvl, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMaxAttackRangeSpreadingDominatedCloseIn(t *testing.T) {
+	// 140 dB at 1 cm with a 116 dB requirement: spreading alone gives
+	// 10^(24/20) cm ≈ 16 cm (absorption is negligible at tank scale) —
+	// the model behind Table 1's ≈15-20 cm write-effect boundary.
+	d, ok := acoustics.MaxAttackRange(
+		units.WaterSPL(140), 1*units.Centimeter, units.WaterSPL(116),
+		650, water.FreshwaterTank(), SearchCap)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	if cm := d.Centimeters(); cm < 14 || cm > 18 {
+		t.Fatalf("max range = %.1f cm, want ≈15.8", cm)
+	}
+}
+
+func TestMaxAttackRangeUnreachable(t *testing.T) {
+	_, ok := acoustics.MaxAttackRange(
+		units.WaterSPL(100), 1*units.Meter, units.WaterSPL(150),
+		650, water.Seawater(20), SearchCap)
+	if ok {
+		t.Fatal("a quiet source cannot deliver a louder requirement")
+	}
+}
+
+func TestRequiredSourceLevelRoundTrip(t *testing.T) {
+	m := water.Seawater(36)
+	required := units.WaterSPL(116)
+	d := 100 * units.Meter
+	src := acoustics.RequiredSourceLevel(required, 1*units.Meter, 650, m, d)
+	// A source at exactly that level must reach exactly distance d.
+	got, ok := acoustics.MaxAttackRange(src, 1*units.Meter, required, 650, m, SearchCap)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	if got < d*0.99 || got > d*1.01 {
+		t.Fatalf("round trip range = %v, want %v", got, d)
+	}
+}
+
+func TestSection5RangesShape(t *testing.T) {
+	rows, err := Section5Ranges(650)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 3 tiers × 4 waters
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The pool speaker reaches centimeters; sonar-class reaches beyond
+	// the cap in at least one condition.
+	var pool, sonar units.Distance
+	for _, r := range rows {
+		if strings.Contains(r.Tier.Name, "pool") && strings.Contains(r.Water, "tank") {
+			pool = r.MaxRange
+		}
+		if strings.Contains(r.Tier.Name, "military") && strings.Contains(r.Water, "Natick") {
+			sonar = r.MaxRange
+		}
+	}
+	if pool.Centimeters() < 5 || pool.Centimeters() > 50 {
+		t.Fatalf("pool speaker range = %v, want tank-scale centimeters", pool)
+	}
+	if sonar < 1*units.Kilometer {
+		t.Fatalf("sonar-class range = %v, want kilometers", sonar)
+	}
+	rep := Section5Report(rows).String()
+	if !strings.Contains(rep, "pool speaker") || !strings.Contains(rep, "military") {
+		t.Fatalf("report rendering:\n%s", rep)
+	}
+}
+
+func TestSection5SoundSpeed(t *testing.T) {
+	rows := Section5SoundSpeed()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §5: each parameter increase raises sound speed.
+	for _, r := range rows {
+		if r.NewMS <= r.BaseMS {
+			t.Errorf("%s %s did not raise sound speed (%.1f -> %.1f)",
+				r.Parameter, r.Delta, r.BaseMS, r.NewMS)
+		}
+	}
+	rep := Section5SoundSpeedReport(rows).String()
+	if !strings.Contains(rep, "temperature") {
+		t.Fatalf("report rendering:\n%s", rep)
+	}
+}
+
+func TestAttackerTiersOrdered(t *testing.T) {
+	tiers := acoustics.AttackerTiers()
+	if len(tiers) != 3 {
+		t.Fatalf("tiers = %d", len(tiers))
+	}
+	if tiers[0].Level.DB >= tiers[2].Level.DB {
+		t.Fatal("tiers should escalate in source level")
+	}
+}

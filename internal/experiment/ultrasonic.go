@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+
+	"deepnote/internal/core"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// Ultrasonic analyzes the second attack vector from Bolton et al. (the
+// paper's in-air predecessor): ultrasonic tones that trip the drive's
+// shock sensor and park the heads. The paper's underwater sweep stops at
+// 16.9 kHz and reports no ultrasonic effect; this analysis shows why the
+// submerged enclosure makes the vector impractical — wall mass-law
+// attenuation grows with frequency, so by the time a tone is ultrasonic
+// the structural excitation is orders of magnitude below the sensor
+// threshold.
+
+// UltrasonicRow is one frequency's reachability verdict.
+type UltrasonicRow struct {
+	Freq units.Frequency
+	// Amplitude is the off-track-equivalent excitation at the drive
+	// (track-pitch fractions) at full attack power, 1 cm.
+	Amplitude float64
+	// SensorThreshold is the shock sensor's trip level.
+	SensorThreshold float64
+	// Parks reports whether the tone would trip the sensor.
+	Parks bool
+}
+
+// Ultrasonic sweeps the ultrasonic band against a scenario at 1 cm and
+// full power.
+func Ultrasonic(s core.Scenario) ([]UltrasonicRow, error) {
+	tb, err := core.NewTestbed(s, 1*units.Centimeter)
+	if err != nil {
+		return nil, err
+	}
+	var rows []UltrasonicRow
+	for _, f := range []units.Frequency{17000, 18000, 20000, 25000, 31000, 40000} {
+		v := tb.VibrationFor(sig.NewTone(f))
+		rows = append(rows, UltrasonicRow{
+			Freq:            f,
+			Amplitude:       v.Amplitude,
+			SensorThreshold: tb.DriveModel.ShockSensorAmpFrac,
+			Parks:           f >= tb.DriveModel.ShockSensorMin && v.Amplitude >= tb.DriveModel.ShockSensorAmpFrac,
+		})
+	}
+	return rows, nil
+}
+
+// UltrasonicReport renders the verdicts.
+func UltrasonicReport(s core.Scenario, rows []UltrasonicRow) *report.Table {
+	tb := report.NewTable(
+		fmt.Sprintf("Ultrasonic (shock-sensor) vector, %v, full power at 1 cm", s),
+		"Frequency", "Drive excitation", "Sensor threshold", "Heads park")
+	for _, r := range rows {
+		tb.AddRow(r.Freq.String(),
+			fmt.Sprintf("%.5f", r.Amplitude),
+			fmt.Sprintf("%.3f", r.SensorThreshold),
+			fmt.Sprintf("%v", r.Parks))
+	}
+	return tb
+}

@@ -1,0 +1,247 @@
+// Package fio is a Flexible-I/O-Tester workalike for the simulated block
+// device: it runs the paper's measurement workloads (sequential read and
+// sequential write at 4 KB granularity) and reports throughput, latency, and
+// IOPS the way the paper's Tables 1 and Figure 2 do, including the
+// "no response" condition when the device stops completing requests.
+package fio
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/simclock"
+)
+
+// Pattern is the access pattern of a job.
+type Pattern int
+
+// Supported patterns.
+const (
+	SeqRead Pattern = iota
+	SeqWrite
+	RandRead
+	RandWrite
+)
+
+// String names the pattern using fio's vocabulary.
+func (p Pattern) String() string {
+	switch p {
+	case SeqRead:
+		return "read"
+	case SeqWrite:
+		return "write"
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// IsWrite reports whether the pattern issues writes.
+func (p Pattern) IsWrite() bool { return p == SeqWrite || p == RandWrite }
+
+// IsRandom reports whether the pattern randomizes offsets.
+func (p Pattern) IsRandom() bool { return p == RandRead || p == RandWrite || p == MixedRand }
+
+// IsMixed reports whether the pattern blends reads and writes.
+func (p Pattern) IsMixed() bool { return p == MixedSeq || p == MixedRand }
+
+// Job describes one fio-style workload.
+type Job struct {
+	// Name labels the job in reports.
+	Name string
+	// Pattern selects the access pattern.
+	Pattern Pattern
+	// BlockSize is the per-request size in bytes (the paper uses 4 KB).
+	BlockSize int
+	// Span is the device region the job covers, starting at Offset.
+	Offset, Span int64
+	// Runtime bounds the job in virtual time.
+	Runtime time.Duration
+	// MaxOps optionally bounds the number of requests (0 = unlimited).
+	MaxOps int
+	// Seed drives the random pattern generator.
+	Seed int64
+	// ReadPercent sets the read share for mixed patterns (default 50
+	// when the pattern is mixed; ignored otherwise).
+	ReadPercent int
+}
+
+// PaperJob returns the paper's measurement job: sequential 4 KB over a
+// 1 GiB span for the given virtual runtime.
+func PaperJob(p Pattern, runtime time.Duration) Job {
+	return Job{
+		Name:      p.String(),
+		Pattern:   p,
+		BlockSize: 4096,
+		Span:      1 << 30,
+		Runtime:   runtime,
+		Seed:      1,
+	}
+}
+
+// Validate reports whether the job is well-formed for a device of the given
+// size.
+func (j Job) Validate(devSize int64) error {
+	if j.BlockSize <= 0 {
+		return fmt.Errorf("fio: job %q block size must be positive", j.Name)
+	}
+	if j.Span < int64(j.BlockSize) {
+		return fmt.Errorf("fio: job %q span %d below block size %d", j.Name, j.Span, j.BlockSize)
+	}
+	if j.Offset < 0 || j.Offset+j.Span > devSize {
+		return fmt.Errorf("fio: job %q region [%d, %d) outside device of %d", j.Name, j.Offset, j.Offset+j.Span, devSize)
+	}
+	if j.Runtime <= 0 && j.MaxOps <= 0 {
+		return fmt.Errorf("fio: job %q needs a runtime or an op budget", j.Name)
+	}
+	return nil
+}
+
+// Result is the job's measurement outcome.
+type Result struct {
+	// Job echoes the job definition.
+	Job Job
+	// Ops and Errors count completed and failed requests.
+	Ops, Errors int
+	// Bytes is the total payload moved by completed requests.
+	Bytes int64
+	// Elapsed is the virtual time consumed.
+	Elapsed time.Duration
+	// Latencies summarizes completed-request service times.
+	Latencies LatencySummary
+	// NoResponse is set when the device completed no requests at all —
+	// the paper's "-" entries in Table 1.
+	NoResponse bool
+}
+
+// ThroughputMBps returns payload throughput in MB/s (decimal megabytes,
+// matching the paper's units).
+func (r Result) ThroughputMBps() float64 {
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / secs
+}
+
+// IOPS returns completed requests per second.
+func (r Result) IOPS() float64 {
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / secs
+}
+
+// LatencySummary aggregates per-request latencies.
+type LatencySummary struct {
+	// Count is the number of samples.
+	Count int
+	// Mean, P50, P99, and Max summarize the distribution.
+	Mean, P50, P99, Max time.Duration
+}
+
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   pick(0.50),
+		P99:   pick(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Runner executes jobs against a device on a virtual clock.
+type Runner struct {
+	dev   blockdev.Device
+	clock simclock.Clock
+}
+
+// NewRunner returns a runner bound to a device and clock.
+func NewRunner(dev blockdev.Device, clock simclock.Clock) *Runner {
+	return &Runner{dev: dev, clock: clock}
+}
+
+// Run executes the job to completion (runtime or op budget, whichever
+// first) and returns its measurements. Failed requests are counted and the
+// runner presses on, like fio with continue_on_error.
+func (r *Runner) Run(job Job) (Result, error) {
+	if err := job.Validate(r.dev.Size()); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(job.Seed))
+	buf := make([]byte, job.BlockSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	blocks := job.Span / int64(job.BlockSize)
+
+	res := Result{Job: job}
+	var lats []time.Duration
+	start := r.clock.Now()
+	var seq int64
+	for i := 0; ; i++ {
+		if job.MaxOps > 0 && i >= job.MaxOps {
+			break
+		}
+		if job.Runtime > 0 && r.clock.Now().Sub(start) >= job.Runtime {
+			break
+		}
+		var block int64
+		if job.Pattern.IsRandom() {
+			block = rng.Int63n(blocks)
+		} else {
+			block = seq % blocks
+			seq++
+		}
+		off := job.Offset + block*int64(job.BlockSize)
+
+		write := job.Pattern.IsWrite()
+		if job.Pattern.IsMixed() {
+			rp := job.ReadPercent
+			if rp <= 0 {
+				rp = 50
+			}
+			write = rng.Intn(100) >= rp
+		}
+		opStart := r.clock.Now()
+		var err error
+		if write {
+			_, err = r.dev.WriteAt(buf, off)
+		} else {
+			_, err = r.dev.ReadAt(buf, off)
+		}
+		lat := r.clock.Now().Sub(opStart)
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		res.Ops++
+		res.Bytes += int64(job.BlockSize)
+		lats = append(lats, lat)
+	}
+	res.Elapsed = r.clock.Now().Sub(start)
+	res.Latencies = summarize(lats)
+	res.NoResponse = res.Ops == 0
+	return res, nil
+}

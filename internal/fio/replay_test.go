@@ -1,0 +1,131 @@
+package fio
+
+import (
+	"testing"
+	"time"
+
+	"deepnote/internal/hdd"
+)
+
+func TestMixedJobBlendsDirections(t *testing.T) {
+	r, disk, _ := newRig(t)
+	job := MixedJob(MixedSeq, 70, time.Second)
+	res, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors != 0 {
+		t.Fatalf("mixed run: %+v", res)
+	}
+	s := disk.Stats()
+	if s.ReadOps == 0 || s.WriteOps == 0 {
+		t.Fatalf("mixed job issued reads=%d writes=%d, want both", s.ReadOps, s.WriteOps)
+	}
+	// 70% reads within sampling tolerance.
+	frac := float64(s.ReadOps) / float64(s.ReadOps+s.WriteOps)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("read fraction = %.2f, want ≈0.7", frac)
+	}
+}
+
+func TestMixedWorkloadDegradesPartiallyUnderWriteKillingAttack(t *testing.T) {
+	// At an amplitude between the write and read thresholds a mixed
+	// workload loses its writes but keeps serving reads — the blended
+	// throughput lands in between.
+	quietRig, _, _ := newRig(t)
+	quiet, err := quietRig.Run(MixedJob(MixedSeq, 50, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, disk, _ := newRig(t)
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.2})
+	hit, err := r.Run(MixedJob(MixedSeq, 50, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.ThroughputMBps() >= quiet.ThroughputMBps()*0.9 {
+		t.Fatalf("mixed throughput barely degraded: %.1f vs %.1f",
+			hit.ThroughputMBps(), quiet.ThroughputMBps())
+	}
+	if hit.NoResponse {
+		t.Fatal("reads should keep the mixed workload alive")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	ops := GenerateTrace(MixedRand, 1000, 4096, 1<<30, 30, 7)
+	if len(ops) != 1000 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	writes := 0
+	for _, op := range ops {
+		if op.Size != 4096 || op.Offset < 0 || op.Offset >= 1<<30 {
+			t.Fatalf("bad op %+v", op)
+		}
+		if op.Write {
+			writes++
+		}
+	}
+	if writes < 600 || writes > 800 {
+		t.Fatalf("writes = %d, want ≈700 (30%% reads)", writes)
+	}
+	// Sequential traces advance linearly.
+	seq := GenerateTrace(SeqRead, 5, 4096, 1<<20, 0, 7)
+	for i, op := range seq {
+		if op.Offset != int64(i*4096) || op.Write {
+			t.Fatalf("seq trace op %d = %+v", i, op)
+		}
+	}
+	if GenerateTrace(SeqRead, 5, 4096, 0, 0, 7) != nil {
+		t.Fatal("zero-span trace should be nil")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	r, _, _ := newRig(t)
+	ops := GenerateTrace(MixedSeq, 500, 4096, 1<<20, 50, 3)
+	res, err := r.Replay("synthetic", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 500 || res.Errors != 0 {
+		t.Fatalf("replay: %+v", res)
+	}
+	if res.ThroughputMBps() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if _, err := r.Replay("empty", nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayCountsInvalidOps(t *testing.T) {
+	r, _, _ := newRig(t)
+	ops := []TraceOp{
+		{Write: true, Offset: 0, Size: 4096},
+		{Write: true, Offset: -4, Size: 4096},
+		{Write: false, Offset: 0, Size: 0},
+	}
+	res, err := r.Replay("partial", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1 || res.Errors != 2 {
+		t.Fatalf("replay: %+v", res)
+	}
+}
+
+func TestPatternNameMixed(t *testing.T) {
+	if patternName(MixedSeq) != "readwrite" || patternName(MixedRand) != "randrw" {
+		t.Fatal("mixed names")
+	}
+	if patternName(SeqRead) != "read" {
+		t.Fatal("plain names must pass through")
+	}
+	if !MixedRand.IsRandom() || MixedSeq.IsRandom() {
+		t.Fatal("mixed randomness flags")
+	}
+	if !MixedSeq.IsMixed() || SeqRead.IsMixed() {
+		t.Fatal("IsMixed flags")
+	}
+}

@@ -1,0 +1,420 @@
+package hdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"deepnote/internal/simclock"
+	"deepnote/internal/units"
+)
+
+// Op is the kind of media access.
+type Op int
+
+// Operation kinds.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String names the op.
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Errors reported by the drive.
+var (
+	// ErrMediaTimeout is returned when an operation exhausts its retry
+	// budget without ever holding the head on track long enough.
+	ErrMediaTimeout = errors.New("hdd: media access timed out after retries")
+	// ErrHeadsParked is returned while the shock sensor has the heads
+	// parked off the platters.
+	ErrHeadsParked = errors.New("hdd: heads parked by shock sensor")
+	// ErrOutOfRange is returned for accesses beyond the drive capacity.
+	ErrOutOfRange = errors.New("hdd: access beyond device capacity")
+)
+
+// Partial is one spectral component of a composite excitation.
+type Partial struct {
+	// Freq is the component frequency.
+	Freq units.Frequency
+	// Amplitude is the component's off-track amplitude (track-pitch
+	// fractions).
+	Amplitude float64
+	// Phase is the component's phase in radians relative to the others.
+	Phase float64
+}
+
+// Vibration is the excitation state applied to a drive: a dominant tone at
+// Freq whose off-track displacement amplitude is Amplitude (track-pitch
+// fractions), plus broadband jitter, plus optional extra Partials for
+// multi-tone attacks.
+type Vibration struct {
+	// Freq is the dominant excitation frequency.
+	Freq units.Frequency
+	// Amplitude is the sinusoidal off-track amplitude in track-pitch
+	// fractions.
+	Amplitude float64
+	// ExtraJitter adds broadband off-track noise (1σ, track fractions)
+	// on top of the drive's own ambient jitter.
+	ExtraJitter float64
+	// Partials are additional coherent components beyond the dominant
+	// tone (multi-tone attacks). Empty for single-tone excitation.
+	Partials []Partial
+}
+
+// Quiet is the no-attack vibration state.
+func Quiet() Vibration { return Vibration{} }
+
+// IsQuiet reports whether the excitation carries no tonal energy.
+func (v Vibration) IsQuiet() bool {
+	return v.Amplitude == 0 && len(v.Partials) == 0 && v.ExtraJitter == 0
+}
+
+// TotalAmplitude returns the worst-case (coherent sum) off-track
+// amplitude of all components.
+func (v Vibration) TotalAmplitude() float64 {
+	a := v.Amplitude
+	for _, p := range v.Partials {
+		a += p.Amplitude
+	}
+	return a
+}
+
+// isComposite reports whether numeric evaluation is required.
+func (v Vibration) isComposite() bool { return len(v.Partials) > 0 }
+
+// displacementAt evaluates the composite waveform at time t (seconds)
+// with the dominant tone at the given phase offset.
+func (v Vibration) displacementAt(t, phase float64) float64 {
+	u := v.Amplitude * math.Sin(v.Freq.AngularVelocity()*t+phase)
+	for _, p := range v.Partials {
+		u += p.Amplitude * math.Sin(p.Freq.AngularVelocity()*t+p.Phase+phase)
+	}
+	return u
+}
+
+// Stats counts drive activity.
+type Stats struct {
+	Reads, Writes           int64
+	ReadErrors, WriteErrors int64
+	Retries                 int64
+	ShockParks              int64
+	AdjacentCorruptions     int64
+	BytesRead, BytesWritten int64
+}
+
+// Drive is an operating disk: a Model plus mutable state. Drives are not
+// safe for concurrent use; the simulation serializes I/O as a real single-
+// actuator drive does.
+type Drive struct {
+	model  Model
+	clock  simclock.Clock
+	rng    *rand.Rand
+	vib    Vibration
+	stats  Stats
+	parked time.Time // heads parked until this instant
+	lastOp struct {
+		end int64
+		set bool
+	}
+}
+
+// NewDrive returns a drive with the given model, clock, and deterministic
+// seed.
+func NewDrive(m Model, clock simclock.Clock, seed int64) (*Drive, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, errors.New("hdd: clock must not be nil")
+	}
+	return &Drive{model: m, clock: clock, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Model returns the drive's static model.
+func (d *Drive) Model() Model { return d.model }
+
+// Stats returns a copy of the activity counters.
+func (d *Drive) Stats() Stats { return d.stats }
+
+// Vibration returns the current excitation state.
+func (d *Drive) Vibration() Vibration { return d.vib }
+
+// SetVibration applies an excitation state, e.g. computed by the testbed
+// from an attack tone. It also evaluates the shock sensor: ultrasonic
+// content above the sensor's threshold parks the heads.
+func (d *Drive) SetVibration(v Vibration) {
+	d.vib = v
+	trip := v.Freq >= d.model.ShockSensorMin && v.Amplitude >= d.model.ShockSensorAmpFrac
+	for _, p := range v.Partials {
+		if p.Freq >= d.model.ShockSensorMin && p.Amplitude >= d.model.ShockSensorAmpFrac {
+			trip = true
+		}
+	}
+	if trip {
+		d.parked = d.clock.Now().Add(d.model.ParkDuration)
+		d.stats.ShockParks++
+	}
+}
+
+// Capacity returns the drive capacity in bytes.
+func (d *Drive) Capacity() int64 { return d.model.CapacityBytes }
+
+// Result describes one completed (or failed) access.
+type Result struct {
+	// Latency is the total virtual time the access took, including
+	// retries. It has already been charged to the clock.
+	Latency time.Duration
+	// Retries is how many positioning retries were needed.
+	Retries int
+	// AdjacentCorruptions lists byte offsets whose adjacent-track data
+	// was silently squeezed by marginal writes (only with the model's
+	// AdjacentCorruptionProb enabled). The drive does NOT know about
+	// these — they surface later as unreadable or wrong data.
+	AdjacentCorruptions []int64
+	// Err is nil on success.
+	Err error
+}
+
+// Access performs one media access of length bytes at the given offset.
+// Virtual time is charged to the drive's clock as the access proceeds.
+func (d *Drive) Access(op Op, offset, length int64) Result {
+	if offset < 0 || length <= 0 || offset+length > d.model.CapacityBytes {
+		return Result{Err: fmt.Errorf("%w: offset=%d length=%d", ErrOutOfRange, offset, length)}
+	}
+	if until := d.parked; d.clock.Now().Before(until) {
+		// The drive rejects I/O while parked; the command round trip
+		// still costs a little time so callers can't spin for free.
+		const rejectCost = 100 * time.Microsecond
+		d.clock.Sleep(rejectCost)
+		d.countError(op)
+		return Result{Latency: rejectCost, Err: ErrHeadsParked}
+	}
+
+	base := d.baseTime(op, offset, length)
+	threshold := d.model.ReadFaultFrac
+	retryCost := d.model.RetryRead
+	if op == OpWrite {
+		threshold = d.model.WriteFaultFrac
+		retryCost = d.model.RetryWrite
+	}
+
+	// The drive services a request chunk by chunk (roughly one servo
+	// sector at a time): each chunk must hold track for its own transfer
+	// plus the wedge window, and each chunk retries independently. Large
+	// sequential requests therefore crawl rather than atomically fail
+	// under moderate vibration.
+	const chunkBytes = 4096
+	total := base
+	totalRetries := 0
+	var corruptions []int64
+	for done := int64(0); done < length; done += chunkBytes {
+		chunk := length - done
+		if chunk > chunkBytes {
+			chunk = chunkBytes
+		}
+		hold := d.model.TransferTime(chunk) + d.model.WedgeWindow
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				total += retryCost
+				totalRetries++
+				d.stats.Retries++
+			}
+			ok, peakFrac := d.attemptHoldsTrack(threshold, hold)
+			if ok {
+				// The integrity surface: a write that squeaked through
+				// near the gate may have squeezed the adjacent track.
+				if op == OpWrite && d.model.AdjacentCorruptionProb > 0 &&
+					peakFrac >= 0.6 && d.rng.Float64() < d.model.AdjacentCorruptionProb {
+					if victim := d.adjacentOffset(offset + done); victim >= 0 {
+						corruptions = append(corruptions, victim)
+						d.stats.AdjacentCorruptions++
+					}
+				}
+				break
+			}
+			if attempt >= d.model.MaxRetries {
+				d.clock.Sleep(total)
+				d.countError(op)
+				d.lastOp.set = false
+				return Result{Latency: total, Retries: totalRetries, AdjacentCorruptions: corruptions, Err: ErrMediaTimeout}
+			}
+		}
+	}
+	d.clock.Sleep(total)
+	d.count(op, length)
+	d.lastOp.end = offset + length
+	d.lastOp.set = true
+	return Result{Latency: total, Retries: totalRetries, AdjacentCorruptions: corruptions}
+}
+
+// adjacentOffset locates the neighboring-track LBA range for a given
+// offset, preferring the previous track (returns -1 when none exists).
+func (d *Drive) adjacentOffset(offset int64) int64 {
+	tb := d.model.TrackBytes
+	if tb <= 0 {
+		return -1
+	}
+	if offset >= tb {
+		return offset - tb
+	}
+	if offset+tb < d.model.CapacityBytes {
+		return offset + tb
+	}
+	return -1
+}
+
+// baseTime is the no-fault service time: overhead, plus seek and rotational
+// latency when the access is not sequential with the previous one, plus
+// media transfer. Seeks cost by travel distance; reads pay a half-revolution
+// average rotational latency while writes pay far less because the on-drive
+// write-back cache acknowledges and reorders them.
+func (d *Drive) baseTime(op Op, offset, length int64) time.Duration {
+	t := d.model.ReadOverhead
+	if op == OpWrite {
+		t = d.model.WriteOverhead
+	}
+	if !d.lastOp.set || d.lastOp.end != offset {
+		t += d.model.SeekTime(offset - d.lastOp.end)
+		if op == OpRead {
+			t += d.model.RevolutionPeriod() / 2
+		} else {
+			t += d.model.RevolutionPeriod() / 8
+		}
+	}
+	return t + d.model.TransferTimeAt(offset, length)
+}
+
+// attemptHoldsTrack decides whether one positioning attempt keeps the head
+// within the fault threshold for the whole transfer window. The head's
+// off-track displacement is A·sin(ωt+φ) with random phase plus Gaussian
+// jitter; the attempt fails if the peak excursion over the transfer window
+// crosses the threshold.
+// attemptHoldsTrack decides whether one positioning attempt stays within
+// the fault threshold for the whole hold window; peakFrac reports the
+// worst excursion as a fraction of the threshold (for the marginal-write
+// integrity model).
+func (d *Drive) attemptHoldsTrack(threshold float64, hold time.Duration) (ok bool, peakFrac float64) {
+	sigma := d.model.BaseJitterFrac + d.vib.ExtraJitter
+	jitter := math.Abs(d.rng.NormFloat64()) * sigma
+	if d.vib.isComposite() {
+		return d.compositeHoldsTrack(threshold, hold, jitter)
+	}
+	a := d.vib.Amplitude
+	if a >= d.model.ServoLockFrac {
+		// Position feedback is gone: the servo wedges themselves are
+		// unreadable, so no attempt can succeed.
+		return false, a / threshold
+	}
+	if a <= 0 {
+		return jitter < threshold, jitter / threshold
+	}
+	phase := d.rng.Float64() * 2 * math.Pi
+	window := d.vib.Freq.AngularVelocity() * hold.Seconds()
+	peak := a*maxAbsSinOver(phase, window) + jitter
+	return peak < threshold, peak / threshold
+}
+
+// compositeHoldsTrack evaluates a multi-tone excitation numerically: the
+// waveform is sampled densely across the hold window at a random phase.
+func (d *Drive) compositeHoldsTrack(threshold float64, hold time.Duration, jitter float64) (bool, float64) {
+	// Servo lock loss uses the RMS-equivalent envelope: a coherent peak
+	// above the lock threshold occurring within the window defeats the
+	// wedge reads just like a single tone would.
+	phase := d.rng.Float64() * 2 * math.Pi
+	const samples = 24
+	dt := hold.Seconds() / samples
+	peak := 0.0
+	for i := 0; i <= samples; i++ {
+		if u := math.Abs(d.vib.displacementAt(float64(i)*dt, phase)); u > peak {
+			peak = u
+		}
+	}
+	if peak >= d.model.ServoLockFrac {
+		return false, peak / threshold
+	}
+	total := peak + jitter
+	return total < threshold, total / threshold
+}
+
+// maxAbsSinOver returns max(|sin θ|) for θ in [phase, phase+width].
+func maxAbsSinOver(phase, width float64) float64 {
+	if width >= math.Pi {
+		return 1
+	}
+	// Normalize the start into [0, π): |sin| has period π.
+	start := math.Mod(phase, math.Pi)
+	if start < 0 {
+		start += math.Pi
+	}
+	end := start + width
+	// A crest of |sin| sits at π/2 (+kπ).
+	if start <= math.Pi/2 && end >= math.Pi/2 {
+		return 1
+	}
+	if end >= math.Pi && end-math.Pi >= math.Pi/2-1e-15 {
+		// The window wrapped past π and reached the next crest. Given
+		// width < π this can only happen when start > π/2, so the crest
+		// at 3π/2 equivalent is included.
+		return 1
+	}
+	return math.Max(math.Abs(math.Sin(start)), math.Abs(math.Sin(end)))
+}
+
+func (d *Drive) count(op Op, n int64) {
+	if op == OpWrite {
+		d.stats.Writes++
+		d.stats.BytesWritten += n
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += n
+	}
+}
+
+func (d *Drive) countError(op Op) {
+	if op == OpWrite {
+		d.stats.WriteErrors++
+	} else {
+		d.stats.ReadErrors++
+	}
+}
+
+// SuccessProbability estimates, by Monte Carlo with the drive's own RNG
+// untouched, the per-attempt probability that an op of the given transfer
+// length holds track under vibration v. It is a diagnostic used by tests
+// and by the analytic throughput predictor.
+func (m Model) SuccessProbability(op Op, v Vibration, length int64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		trials = 2000
+	}
+	threshold := m.ReadFaultFrac
+	if op == OpWrite {
+		threshold = m.WriteFaultFrac
+	}
+	if v.Amplitude >= m.ServoLockFrac {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sigma := m.BaseJitterFrac + v.ExtraJitter
+	window := v.Freq.AngularVelocity() * (m.TransferTime(length) + m.WedgeWindow).Seconds()
+	ok := 0
+	for i := 0; i < trials; i++ {
+		jitter := math.Abs(rng.NormFloat64()) * sigma
+		peak := 0.0
+		if v.Amplitude > 0 {
+			phase := rng.Float64() * 2 * math.Pi
+			peak = v.Amplitude * maxAbsSinOver(phase, window)
+		}
+		if peak+jitter < threshold {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}

@@ -1,0 +1,368 @@
+package hdd
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+func newTestDrive(t *testing.T) (*Drive, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	d, err := NewDrive(Barracuda500(), clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, clock
+}
+
+func TestModelValidate(t *testing.T) {
+	m := Barracuda500()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.WriteFaultFrac = 0.5 // looser than read: nonsense
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error when write tolerance looser than read")
+	}
+	bad = m
+	bad.CapacityBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	bad = m
+	bad.MaxRetries = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero retry budget")
+	}
+	bad = m
+	bad.PressureGain = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero pressure gain")
+	}
+}
+
+func TestNewDriveRejectsNilClock(t *testing.T) {
+	if _, err := NewDrive(Barracuda500(), nil, 1); err == nil {
+		t.Fatal("expected error for nil clock")
+	}
+}
+
+func TestRevolutionPeriod7200RPM(t *testing.T) {
+	m := Barracuda500()
+	want := 8333 * time.Microsecond
+	got := m.RevolutionPeriod()
+	if got < want-10*time.Microsecond || got > want+10*time.Microsecond {
+		t.Fatalf("RevolutionPeriod = %v, want ≈%v", got, want)
+	}
+}
+
+func TestServoSensitivityShape(t *testing.T) {
+	m := Barracuda500()
+	// Well below crossover the servo rejects almost everything.
+	if s := m.ServoSensitivity(50); s > 0.01 {
+		t.Fatalf("sensitivity at 50 Hz = %v, want ≈0", s)
+	}
+	// Well above crossover it passes vibration through (≈1).
+	if s := m.ServoSensitivity(5000); s < 0.9 || s > 1.3 {
+		t.Fatalf("sensitivity at 5 kHz = %v, want ≈1", s)
+	}
+	if s := m.ServoSensitivity(0); s != 0 {
+		t.Fatalf("sensitivity at 0 = %v, want 0", s)
+	}
+	// Monotone-ish rise through the crossover region.
+	if m.ServoSensitivity(200) >= m.ServoSensitivity(650) {
+		t.Fatal("sensitivity should grow from 200 Hz to 650 Hz")
+	}
+}
+
+func TestOffTrackZeroWithoutExcitation(t *testing.T) {
+	m := Barracuda500()
+	if got := m.OffTrack(650, 0); got != 0 {
+		t.Fatalf("OffTrack(0 Pa) = %v, want 0", got)
+	}
+	if got := m.OffTrack(650, -3); got != 0 {
+		t.Fatalf("OffTrack(neg) = %v, want 0", got)
+	}
+}
+
+func TestOffTrackBandpassShape(t *testing.T) {
+	m := Barracuda500()
+	// With flat excitation, the off-track response must peak in the
+	// paper's vulnerable band and fall off on both sides.
+	low := m.OffTrack(100, 10)
+	mid := m.OffTrack(700, 10)
+	high := m.OffTrack(8000, 10)
+	if mid <= low*3 {
+		t.Fatalf("mid-band response %v should dominate low-frequency %v", mid, low)
+	}
+	if mid <= high {
+		t.Fatalf("mid-band response %v should exceed high-frequency %v", mid, high)
+	}
+}
+
+func TestQuietDriveThroughputMatchesPaper(t *testing.T) {
+	// No attack: sequential 4 KB reads at ≈18.0 MB/s, writes at ≈22.7 MB/s
+	// (the paper's Table 1 "No Attack" row).
+	for _, tc := range []struct {
+		op   Op
+		want float64 // MB/s
+	}{
+		{OpRead, 18.0},
+		{OpWrite, 22.7},
+	} {
+		d, clock := newTestDrive(t)
+		const bs = 4096
+		const ops = 2000
+		start := clock.Now()
+		var off int64
+		// Prime sequentiality: first op pays a seek.
+		for i := 0; i < ops; i++ {
+			res := d.Access(tc.op, off, bs)
+			if res.Err != nil {
+				t.Fatalf("%v: unexpected error %v", tc.op, res.Err)
+			}
+			off += bs
+		}
+		secs := clock.Since(start).Seconds()
+		mbps := float64(bs*ops) / 1e6 / secs
+		if math.Abs(mbps-tc.want)/tc.want > 0.08 {
+			t.Errorf("%v: quiet throughput = %.1f MB/s, want ≈%.1f", tc.op, mbps, tc.want)
+		}
+	}
+}
+
+func TestQuietLatencyMatchesPaper(t *testing.T) {
+	// Paper Table 1: ≈0.2 ms per op for both read and write.
+	d, _ := newTestDrive(t)
+	d.Access(OpRead, 0, 4096) // absorb initial seek
+	res := d.Access(OpRead, 4096, 4096)
+	if ms := res.Latency.Seconds() * 1000; ms < 0.1 || ms > 0.35 {
+		t.Fatalf("sequential read latency = %.3f ms, want ≈0.2", ms)
+	}
+}
+
+func TestRandomAccessPaysSeek(t *testing.T) {
+	d, _ := newTestDrive(t)
+	d.Access(OpRead, 0, 4096)
+	seq := d.Access(OpRead, 4096, 4096)
+	rnd := d.Access(OpRead, 1e9, 4096)
+	if rnd.Latency < seq.Latency+5*time.Millisecond {
+		t.Fatalf("random access %v should pay seek over sequential %v", rnd.Latency, seq.Latency)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	d, _ := newTestDrive(t)
+	if res := d.Access(OpRead, -1, 4096); !errors.Is(res.Err, ErrOutOfRange) {
+		t.Fatalf("negative offset: %v", res.Err)
+	}
+	if res := d.Access(OpRead, 0, 0); !errors.Is(res.Err, ErrOutOfRange) {
+		t.Fatalf("zero length: %v", res.Err)
+	}
+	cap := d.Capacity()
+	if res := d.Access(OpWrite, cap-100, 4096); !errors.Is(res.Err, ErrOutOfRange) {
+		t.Fatalf("overflow: %v", res.Err)
+	}
+}
+
+func TestHeavyVibrationTimesOutWrites(t *testing.T) {
+	d, _ := newTestDrive(t)
+	d.SetVibration(Vibration{Freq: 650, Amplitude: 3.0}) // 20x write threshold
+	res := d.Access(OpWrite, 0, 4096)
+	if !errors.Is(res.Err, ErrMediaTimeout) {
+		t.Fatalf("expected media timeout, got %v", res.Err)
+	}
+	if res.Retries != d.Model().MaxRetries {
+		t.Fatalf("retries = %d, want %d", res.Retries, d.Model().MaxRetries)
+	}
+	if d.Stats().WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", d.Stats().WriteErrors)
+	}
+}
+
+func TestWritesFailBeforeReads(t *testing.T) {
+	// At an amplitude between the write and read thresholds, writes
+	// struggle while reads mostly sail through — the paper's core
+	// asymmetry (§4.1).
+	m := Barracuda500()
+	v := Vibration{Freq: 650, Amplitude: 0.2} // above 0.15 write, below 0.26 read
+	pw := m.SuccessProbability(OpWrite, v, 4096, 4000, 7)
+	pr := m.SuccessProbability(OpRead, v, 4096, 4000, 7)
+	if pw >= pr {
+		t.Fatalf("write success %v should be below read success %v", pw, pr)
+	}
+	if pr < 0.9 {
+		t.Fatalf("read success %v should stay high below read threshold", pr)
+	}
+}
+
+func TestSuccessProbabilityMonotoneInAmplitude(t *testing.T) {
+	m := Barracuda500()
+	prev := 1.1
+	for _, a := range []float64{0, 0.05, 0.15, 0.25, 0.5, 1, 3} {
+		p := m.SuccessProbability(OpWrite, Vibration{Freq: 650, Amplitude: a}, 4096, 6000, 11)
+		if p > prev+0.02 {
+			t.Fatalf("success probability rose with amplitude at %v: %v > %v", a, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMaxAbsSinOver(t *testing.T) {
+	cases := []struct {
+		phase, width, want float64
+	}{
+		{0, math.Pi, 1},                        // covers a crest by width
+		{0, 0.1, math.Sin(0.1)},                // rising edge
+		{math.Pi / 2, 0.1, 1},                  // starts on the crest
+		{math.Pi/2 - 0.05, 0.2, 1},             // crosses the crest
+		{math.Pi - 0.1, 0.05, math.Sin(0.1)},   // descending near zero, |sin|
+		{2*math.Pi - 0.1, 0.05, math.Sin(0.1)}, // wraps the 2π boundary
+		{math.Pi * 0.75, math.Pi * 0.8, 1},     // wraps into the next crest
+	}
+	for i, c := range cases {
+		got := maxAbsSinOver(c.phase, c.width)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: maxAbsSinOver(%v, %v) = %v, want %v", i, c.phase, c.width, got, c.want)
+		}
+	}
+}
+
+func TestMaxAbsSinOverProperty(t *testing.T) {
+	// The analytic max must match a dense numeric scan.
+	prop := func(pRaw, wRaw uint16) bool {
+		phase := float64(pRaw) / 65535 * 2 * math.Pi
+		width := float64(wRaw) / 65535 * math.Pi * 1.2
+		got := maxAbsSinOver(phase, width)
+		max := 0.0
+		for i := 0; i <= 400; i++ {
+			v := math.Abs(math.Sin(phase + width*float64(i)/400))
+			if v > max {
+				max = v
+			}
+		}
+		return got >= max-1e-6 && got <= max+5e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShockSensorParksHeads(t *testing.T) {
+	d, clock := newTestDrive(t)
+	d.SetVibration(Vibration{Freq: 20000, Amplitude: 0.1})
+	if d.Stats().ShockParks != 1 {
+		t.Fatalf("parks = %d, want 1", d.Stats().ShockParks)
+	}
+	res := d.Access(OpRead, 0, 4096)
+	if !errors.Is(res.Err, ErrHeadsParked) {
+		t.Fatalf("expected parked error, got %v", res.Err)
+	}
+	// After the park duration the drive recovers.
+	clock.Advance(d.Model().ParkDuration + time.Millisecond)
+	d.SetVibration(Quiet())
+	if res := d.Access(OpRead, 0, 4096); res.Err != nil {
+		t.Fatalf("drive did not recover after parking: %v", res.Err)
+	}
+}
+
+func TestShockSensorIgnoresAudibleBand(t *testing.T) {
+	d, _ := newTestDrive(t)
+	d.SetVibration(Vibration{Freq: 650, Amplitude: 5})
+	if d.Stats().ShockParks != 0 {
+		t.Fatal("audible-band vibration must not trip the shock sensor")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, time.Duration) {
+		clock := simclock.NewVirtual()
+		d, err := NewDrive(Barracuda500(), clock, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetVibration(Vibration{Freq: 650, Amplitude: 0.18})
+		start := clock.Now()
+		var off int64
+		for i := 0; i < 500; i++ {
+			d.Access(OpWrite, off, 4096)
+			off += 4096
+		}
+		return d.Stats(), clock.Since(start)
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic: %+v/%v vs %+v/%v", s1, t1, s2, t2)
+	}
+}
+
+func TestVibrationAccessorRoundTrip(t *testing.T) {
+	d, _ := newTestDrive(t)
+	v := Vibration{Freq: 650, Amplitude: 0.3, ExtraJitter: 0.01}
+	d.SetVibration(v)
+	got := d.Vibration()
+	if got.Freq != v.Freq || got.Amplitude != v.Amplitude || got.ExtraJitter != v.ExtraJitter {
+		t.Fatalf("Vibration() = %+v, want %+v", got, v)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	d, _ := newTestDrive(t)
+	d.Access(OpRead, 0, 4096)
+	d.Access(OpWrite, 4096, 8192)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("ops: %+v", s)
+	}
+	if s.BytesRead != 4096 || s.BytesWritten != 8192 {
+		t.Fatalf("bytes: %+v", s)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("Op.String misbehaves")
+	}
+}
+
+func TestRetryLatencyGrowsUnderModerateVibration(t *testing.T) {
+	// Paper Table 1 at 15 cm: write latency rises to ≈4 ms while reads
+	// stay at 0.2 ms. Under moderate vibration, mean write latency should
+	// exceed the quiet value by an order of magnitude.
+	d, clock := newTestDrive(t)
+	d.Access(OpWrite, 0, 4096)
+	d.SetVibration(Vibration{Freq: 650, Amplitude: 0.16})
+	start := clock.Now()
+	var off int64 = 4096
+	n := 300
+	fails := 0
+	for i := 0; i < n; i++ {
+		res := d.Access(OpWrite, off, 4096)
+		if res.Err != nil {
+			fails++
+		}
+		off += 4096
+	}
+	mean := clock.Since(start).Seconds() * 1000 / float64(n)
+	if mean < 0.5 {
+		t.Fatalf("mean write latency under vibration = %.3f ms, want ≥0.5", mean)
+	}
+	if fails == n {
+		t.Fatal("moderate vibration should not kill all writes")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Barracuda500()
+	got := m.TransferTime(120e6)
+	if math.Abs(got.Seconds()-1) > 1e-9 {
+		t.Fatalf("TransferTime(120MB) = %v, want 1s", got)
+	}
+}

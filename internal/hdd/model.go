@@ -1,0 +1,277 @@
+// Package hdd models the victim hard disk drive: a mechanical model of how
+// incident vibration becomes head off-track displacement, and an operational
+// model of how off-track displacement becomes failed or retried I/O.
+//
+// The mechanism follows Bolton et al. (the paper's citation [6]): the
+// read/write head must stay within a tolerance distance of track center —
+// tighter for writes than reads — and acoustic excitation at the right
+// frequencies drives the head-stack assembly beyond that tolerance. The
+// drive's servo rejects disturbance below its control bandwidth, so very low
+// frequencies do little; container walls attenuate high frequencies; the
+// vulnerable band lives between.
+package hdd
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deepnote/internal/units"
+	"deepnote/internal/vibration"
+)
+
+// Model is the static description of a drive: geometry, timing, mechanics,
+// and fault tolerances. It is immutable; operational state lives in Drive.
+type Model struct {
+	// Name identifies the drive model.
+	Name string
+	// CapacityBytes is the usable capacity.
+	CapacityBytes int64
+	// RPM is the spindle speed.
+	RPM float64
+	// MediaRateBps is the sustained media transfer rate in bytes/second
+	// at the outer diameter (LBA 0).
+	MediaRateBps float64
+	// InnerRateFraction is the media rate at the inner diameter relative
+	// to the outer: zoned bit recording makes inner tracks slower (≈0.55
+	// on desktop drives). 0 disables zoning (flat rate).
+	InnerRateFraction float64
+	// ReadOverhead and WriteOverhead are the per-operation fixed costs
+	// (controller, cache, settle) for sequential access.
+	ReadOverhead, WriteOverhead time.Duration
+	// AvgSeek is the average seek time for a random full-span access.
+	AvgSeek time.Duration
+	// TrackToTrack is the minimum seek time for short hops; seeks scale
+	// between TrackToTrack and ~2×AvgSeek with the square root of the
+	// travel distance, the classic HDD seek profile.
+	TrackToTrack time.Duration
+	// WriteFaultFrac and ReadFaultFrac are the off-track fault thresholds
+	// as fractions of track pitch. Writes abort at smaller excursions
+	// than reads — the root cause of writes dying first under attack.
+	WriteFaultFrac, ReadFaultFrac float64
+	// ServoCrossover is the servo loop's disturbance-rejection crossover;
+	// below it the positioning loop attenuates vibration.
+	ServoCrossover units.Frequency
+	// ServoOrder sets the steepness of rejection below crossover
+	// (6·ServoOrder dB/octave).
+	ServoOrder int
+	// ServoPeak is the sensitivity hump just above crossover, a standard
+	// feature of feedback loops (Bode's integral makes it unavoidable).
+	ServoPeak float64
+	// HSAModes are the head-stack assembly's mechanical resonances.
+	HSAModes vibration.Stack
+	// PressureGain converts incident pressure (Pa, after structural
+	// gain) into head off-track displacement in track-pitch fractions at
+	// the HSA reference response.
+	PressureGain float64
+	// BaseJitterFrac is the ambient track-misregistration noise floor
+	// (fraction of track pitch, 1σ).
+	BaseJitterFrac float64
+	// ServoLockFrac is the off-track amplitude beyond which the head can
+	// no longer read the servo wedges at all: position feedback is lost,
+	// retries are useless, and the drive stops responding. This is the
+	// cliff behind the paper's "no response" rows — distinct from the
+	// per-op fault thresholds, which still allow lucky retries.
+	ServoLockFrac float64
+	// WedgeWindow is the servo-wedge sampling span the head must stay on
+	// track for in addition to the data transfer itself: the positioning
+	// loop checks the position error signal at the wedge preceding an
+	// access and through it, so even tiny transfers cannot sneak through
+	// an instantaneous zero crossing of the vibration.
+	WedgeWindow time.Duration
+	// RetryRead and RetryWrite are the costs of one positioning retry.
+	// Reads recover faster (ECC + immediate re-read); writes must wait a
+	// full revolution for the sector to come around again.
+	RetryRead, RetryWrite time.Duration
+	// MaxRetries bounds retry attempts before the drive reports a media
+	// error for the operation.
+	MaxRetries int
+	// ShockSensorMin is the lowest frequency that trips the drive's
+	// shock sensor into parking the heads (the ultrasonic attack path in
+	// Bolton et al.). Parking lasts ParkDuration past the last trigger.
+	ShockSensorMin units.Frequency
+	// ShockSensorAmpFrac is the minimum off-track-equivalent amplitude
+	// that trips the sensor.
+	ShockSensorAmpFrac float64
+	// ParkDuration is how long the heads stay parked after a trigger.
+	ParkDuration time.Duration
+	// AdjacentCorruptionProb enables the integrity attack surface from
+	// Bolton et al. (the paper's intro: acoustic waves affect
+	// "availability and integrity"): a write whose peak excursion lands
+	// in the marginal zone just under the fault gate squeezes the
+	// neighboring track, silently corrupting it with this probability.
+	// 0 (the default) disables the mechanism; the availability
+	// calibration is unaffected either way.
+	AdjacentCorruptionProb float64
+	// TrackBytes is the LBA span of one track, used to locate the
+	// adjacent-track victim of a marginal write (default 1 MiB via
+	// Barracuda500).
+	TrackBytes int64
+}
+
+// Barracuda500 returns the victim drive used in the paper: a 500 GB
+// Seagate Barracuda desktop drive, with per-op overheads calibrated so the
+// paper's no-attack FIO numbers (18.0 MB/s sequential read, 22.7 MB/s
+// sequential write at 4 KB granularity) fall out.
+func Barracuda500() Model {
+	return Model{
+		Name:              "Seagate Barracuda 500GB (ST500DM002-like)",
+		CapacityBytes:     500e9,
+		RPM:               7200,
+		MediaRateBps:      120e6,
+		InnerRateFraction: 0.55,
+		ReadOverhead:      193 * time.Microsecond,
+		WriteOverhead:     146 * time.Microsecond,
+		AvgSeek:           8500 * time.Microsecond,
+		TrackToTrack:      1200 * time.Microsecond,
+
+		WriteFaultFrac: 0.15,
+		ReadFaultFrac:  0.26,
+
+		ServoCrossover: 400 * units.Hz,
+		ServoOrder:     3,
+		ServoPeak:      1.25,
+		HSAModes: vibration.Stack{
+			{F0: 800 * units.Hz, Q: 2.5, Gain: 0.8},
+			{F0: 1250 * units.Hz, Q: 2.0, Gain: 0.5},
+		},
+		PressureGain:   0.043,
+		BaseJitterFrac: 0.012,
+		ServoLockFrac:  0.45,
+
+		WedgeWindow: 42 * time.Microsecond,
+		RetryRead:   2 * time.Millisecond,
+		RetryWrite:  8333 * time.Microsecond, // one revolution at 7200 RPM
+		MaxRetries:  64,
+
+		ShockSensorMin:     18000 * units.Hz,
+		ShockSensorAmpFrac: 0.05,
+		ParkDuration:       300 * time.Millisecond,
+
+		TrackBytes: 1 << 20,
+	}
+}
+
+// Validate reports whether the model is self-consistent.
+func (m Model) Validate() error {
+	if m.CapacityBytes <= 0 {
+		return fmt.Errorf("hdd: %q capacity must be positive", m.Name)
+	}
+	if m.RPM <= 0 {
+		return fmt.Errorf("hdd: %q RPM must be positive", m.Name)
+	}
+	if m.MediaRateBps <= 0 {
+		return fmt.Errorf("hdd: %q media rate must be positive", m.Name)
+	}
+	if m.WriteFaultFrac <= 0 || m.ReadFaultFrac <= 0 {
+		return fmt.Errorf("hdd: %q fault thresholds must be positive", m.Name)
+	}
+	if m.WriteFaultFrac >= m.ReadFaultFrac {
+		return fmt.Errorf("hdd: %q write fault threshold %.3f must be tighter than read %.3f",
+			m.Name, m.WriteFaultFrac, m.ReadFaultFrac)
+	}
+	if m.ServoCrossover <= 0 || m.ServoOrder <= 0 {
+		return fmt.Errorf("hdd: %q servo parameters invalid", m.Name)
+	}
+	if m.PressureGain <= 0 {
+		return fmt.Errorf("hdd: %q pressure gain must be positive", m.Name)
+	}
+	if m.ServoLockFrac <= m.ReadFaultFrac {
+		return fmt.Errorf("hdd: %q servo lock loss %.3f must be looser than the read fault threshold %.3f",
+			m.Name, m.ServoLockFrac, m.ReadFaultFrac)
+	}
+	if m.MaxRetries <= 0 {
+		return fmt.Errorf("hdd: %q retry budget must be positive", m.Name)
+	}
+	return m.HSAModes.Validate()
+}
+
+// RevolutionPeriod returns the time of one platter revolution.
+func (m Model) RevolutionPeriod() time.Duration {
+	return time.Duration(60 / m.RPM * float64(time.Second))
+}
+
+// TransferTime returns the media transfer time for n bytes at the outer
+// diameter. Use TransferTimeAt for zone-aware timing.
+func (m Model) TransferTime(n int64) time.Duration {
+	return time.Duration(float64(n) / m.MediaRateBps * float64(time.Second))
+}
+
+// MediaRateAt returns the zoned media rate at a byte offset: linear
+// interpolation from the outer-diameter rate at LBA 0 down to
+// InnerRateFraction of it at the last LBA, the classic ZBR profile.
+func (m Model) MediaRateAt(offset int64) float64 {
+	if m.InnerRateFraction <= 0 || m.InnerRateFraction >= 1 || m.CapacityBytes <= 0 {
+		return m.MediaRateBps
+	}
+	frac := float64(offset) / float64(m.CapacityBytes)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return m.MediaRateBps * (1 - (1-m.InnerRateFraction)*frac)
+}
+
+// TransferTimeAt returns the media transfer time for n bytes starting at
+// the given offset, honoring zoned recording.
+func (m Model) TransferTimeAt(offset, n int64) time.Duration {
+	return time.Duration(float64(n) / m.MediaRateAt(offset) * float64(time.Second))
+}
+
+// SeekTime returns the head travel time for a seek spanning the given byte
+// distance: TrackToTrack for short hops, growing with the square root of
+// the travel fraction so that an average random seek (1/3 of the span)
+// costs AvgSeek.
+func (m Model) SeekTime(distance int64) time.Duration {
+	if distance < 0 {
+		distance = -distance
+	}
+	if distance == 0 {
+		return m.TrackToTrack
+	}
+	frac := float64(distance) / float64(m.CapacityBytes)
+	t := float64(m.TrackToTrack) + (float64(m.AvgSeek)-float64(m.TrackToTrack))*math.Sqrt(frac*3)
+	if max := 2 * float64(m.AvgSeek); t > max {
+		t = max
+	}
+	return time.Duration(t)
+}
+
+// ServoSensitivity returns |S(f)|, the servo loop's disturbance
+// transmissibility: ≈0 well below crossover (the loop follows and rejects),
+// a modest hump just above crossover, and ≈1 far above (the loop cannot
+// react).
+func (m Model) ServoSensitivity(f units.Frequency) float64 {
+	if f <= 0 {
+		return 0
+	}
+	r := float64(f) / float64(m.ServoCrossover)
+	rn := math.Pow(r, float64(m.ServoOrder))
+	base := rn / math.Sqrt(1+rn*rn)
+	// Peaking term centered at ~1.3x crossover, width ~ one octave.
+	peak := 1 + (m.ServoPeak-1)*math.Exp(-sqDiffLog(r, 1.3)/0.18)
+	return base * peak
+}
+
+func sqDiffLog(r, center float64) float64 {
+	d := math.Log2(r / center)
+	return d * d
+}
+
+// MechanicalResponse returns the head-stack assembly's dimensionless
+// response at frequency f (power sum of its modes).
+func (m Model) MechanicalResponse(f units.Frequency) float64 {
+	return m.HSAModes.Response(f)
+}
+
+// OffTrack converts an excitation — incident acoustic pressure (Pa) already
+// multiplied by the enclosure's structural gain — into head off-track
+// displacement amplitude, in track-pitch fractions.
+func (m Model) OffTrack(f units.Frequency, excitationPa float64) float64 {
+	if excitationPa <= 0 {
+		return 0
+	}
+	return m.PressureGain * excitationPa * m.MechanicalResponse(f) * m.ServoSensitivity(f)
+}

@@ -1,0 +1,150 @@
+package hdd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+func TestCompositeVibrationTotalAmplitude(t *testing.T) {
+	v := Vibration{
+		Freq: 650, Amplitude: 0.1,
+		Partials: []Partial{{Freq: 900, Amplitude: 0.05}, {Freq: 450, Amplitude: 0.02}},
+	}
+	if got := v.TotalAmplitude(); got != 0.17 {
+		t.Fatalf("TotalAmplitude = %v", got)
+	}
+	if !v.isComposite() {
+		t.Fatal("composite not detected")
+	}
+	if (Vibration{Freq: 650, Amplitude: 0.1}).isComposite() {
+		t.Fatal("single tone flagged composite")
+	}
+}
+
+func TestCompositeKillsWritesLikeSingleTone(t *testing.T) {
+	clock := simclock.NewVirtual()
+	d, err := NewDrive(Barracuda500(), clock, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetVibration(Vibration{
+		Freq: 650, Amplitude: 1.5,
+		Partials: []Partial{{Freq: 800, Amplitude: 1.2}},
+	})
+	fails := 0
+	var total time.Duration
+	var off int64
+	n := 20
+	for i := 0; i < n; i++ {
+		res := d.Access(OpWrite, off, 4096)
+		total += res.Latency
+		if errors.Is(res.Err, ErrMediaTimeout) {
+			fails++
+		}
+		off += 4096
+	}
+	if fails == 0 && total/time.Duration(n) < 20*time.Millisecond {
+		t.Fatalf("heavy chord should devastate writes: %d fails, mean %v", fails, total/time.Duration(n))
+	}
+	if fails < n/2 {
+		t.Fatalf("heavy chord (amplitudes far above servo lock) should time out most writes: %d/%d", fails, n)
+	}
+}
+
+func TestCompositeSplitPowerWeakerThanFullSingle(t *testing.T) {
+	// Physics sanity: splitting the same drive budget across two tones
+	// produces no more damage than the best single tone at full power.
+	run := func(v Vibration) int {
+		clock := simclock.NewVirtual()
+		d, err := NewDrive(Barracuda500(), clock, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetVibration(v)
+		fails := 0
+		var off int64
+		for i := 0; i < 200; i++ {
+			if res := d.Access(OpWrite, off, 4096); res.Err != nil {
+				fails++
+			}
+			off += 4096
+		}
+		return fails
+	}
+	full := run(Vibration{Freq: 650, Amplitude: 0.3})
+	split := run(Vibration{
+		Freq: 650, Amplitude: 0.15,
+		Partials: []Partial{{Freq: 800, Amplitude: 0.15}},
+	})
+	if split > full {
+		t.Fatalf("split-power chord (%d fails) should not beat full single tone (%d fails)", split, full)
+	}
+}
+
+func TestCompositeBelowThresholdSucceeds(t *testing.T) {
+	clock := simclock.NewVirtual()
+	d, err := NewDrive(Barracuda500(), clock, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetVibration(Vibration{
+		Freq: 650, Amplitude: 0.03,
+		Partials: []Partial{{Freq: 900, Amplitude: 0.02}},
+	})
+	var off int64
+	for i := 0; i < 100; i++ {
+		if res := d.Access(OpWrite, off, 4096); res.Err != nil {
+			t.Fatalf("quiet chord failed a write: %v", res.Err)
+		}
+		off += 4096
+	}
+}
+
+func TestCompositeUltrasonicPartialTripsShockSensor(t *testing.T) {
+	clock := simclock.NewVirtual()
+	d, err := NewDrive(Barracuda500(), clock, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetVibration(Vibration{
+		Freq: 650, Amplitude: 0.05,
+		Partials: []Partial{{Freq: 20000, Amplitude: 0.06}},
+	})
+	if d.Stats().ShockParks != 1 {
+		t.Fatal("ultrasonic partial should park the heads")
+	}
+}
+
+func TestCompositeServoLockLoss(t *testing.T) {
+	clock := simclock.NewVirtual()
+	d, err := NewDrive(Barracuda500(), clock, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two nearby partials beat against each other: their coherent peaks
+	// exceed the write threshold most of the time, so writes limp along
+	// on retries even though single ops occasionally sneak through a
+	// beat null.
+	d.SetVibration(Vibration{
+		Freq: 650, Amplitude: 0.3,
+		Partials: []Partial{{Freq: 651, Amplitude: 0.3}},
+	})
+	var off int64
+	var total time.Duration
+	n := 50
+	for i := 0; i < n; i++ {
+		res := d.Access(OpWrite, off, 4096)
+		total += res.Latency
+		off += 4096
+	}
+	mean := total / time.Duration(n)
+	if mean < 2*time.Millisecond {
+		t.Fatalf("mean write latency under beating chord = %v, want heavy retry inflation", mean)
+	}
+	if d.Stats().Retries == 0 {
+		t.Fatal("expected retries under beating chord")
+	}
+}

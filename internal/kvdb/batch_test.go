@@ -1,0 +1,109 @@
+package kvdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"deepnote/internal/jfs"
+)
+
+// remount reopens the filesystem without an unmount, simulating a crash.
+func remount(r *rig) (*jfs.FS, error) {
+	return jfs.Mount(r.disk, r.clock, jfs.Config{})
+}
+
+func TestBatchApply(t *testing.T) {
+	r := newRig(t, Options{})
+	b := NewBatch()
+	for i := 0; i < 100; i++ {
+		b.Put([]byte(fmt.Sprintf("b%03d", i)), []byte("v"))
+	}
+	b.Delete([]byte("b000"))
+	if b.Len() != 101 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if err := r.db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.db.Get([]byte("b000")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete in batch lost: %v", err)
+	}
+	if v, err := r.db.Get([]byte("b001")); err != nil || string(v) != "v" {
+		t.Fatalf("batch put lost: %q %v", v, err)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset")
+	}
+	if err := r.db.Apply(b); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := r.db.Apply(nil); err != nil {
+		t.Fatalf("nil batch: %v", err)
+	}
+}
+
+func TestBatchOrderingWithinBatch(t *testing.T) {
+	r := newRig(t, Options{})
+	b := NewBatch()
+	b.Put([]byte("k"), []byte("first"))
+	b.Put([]byte("k"), []byte("second"))
+	b.Delete([]byte("k"))
+	b.Put([]byte("k"), []byte("final"))
+	if err := r.db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.db.Get([]byte("k"))
+	if err != nil || string(v) != "final" {
+		t.Fatalf("batch ordering: %q %v", v, err)
+	}
+}
+
+func TestBatchCheaperThanIndividualPuts(t *testing.T) {
+	// Group commit: the batch charges one op's CPU plus the records, so
+	// it should consume no more virtual time than individual puts.
+	rigA := newRig(t, Options{})
+	startA := rigA.clock.Now()
+	for i := 0; i < 500; i++ {
+		rigA.db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	individual := rigA.clock.Now().Sub(startA)
+
+	rigB := newRig(t, Options{})
+	b := NewBatch()
+	for i := 0; i < 500; i++ {
+		b.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	startB := rigB.clock.Now()
+	if err := rigB.db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	batched := rigB.clock.Now().Sub(startB)
+	if batched > individual {
+		t.Fatalf("batch (%v) slower than individual puts (%v)", batched, individual)
+	}
+}
+
+func TestBatchSurvivesRecovery(t *testing.T) {
+	r := newRig(t, Options{})
+	b := NewBatch()
+	b.Put([]byte("durable-batch"), []byte("yes"))
+	if err := r.db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := remount(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(fs2, r.clock, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db2.Get([]byte("durable-batch")); err != nil || string(v) != "yes" {
+		t.Fatalf("batch lost across recovery: %q %v", v, err)
+	}
+}

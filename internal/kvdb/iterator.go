@@ -1,0 +1,98 @@
+package kvdb
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Iterator walks live keys in ascending order over a merged snapshot of
+// the memtable and all tables. The snapshot is materialized at creation:
+// writes after NewIterator are not visible, matching snapshot-isolation
+// iterator semantics.
+type Iterator struct {
+	entries []Entry
+	pos     int
+}
+
+// NewIterator snapshots the database and returns an iterator positioned
+// before the first key at or after start (nil = from the beginning). The
+// iterator charges the I/O needed to read uncached tables.
+func (db *DB) NewIterator(start []byte) (*Iterator, error) {
+	if err := db.guard(); err != nil {
+		return nil, err
+	}
+	db.chargeCPU()
+	merged := make(map[string]Entry)
+	// Oldest first so newer entries win: L1, then L0 oldest→newest,
+	// then the memtable.
+	sources := append([]*SSTable{}, db.l1...)
+	for i := len(db.l0) - 1; i >= 0; i-- {
+		sources = append(sources, db.l0[i])
+	}
+	for _, t := range sources {
+		entries, err := t.Entries()
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			prev, ok := merged[string(e.Key)]
+			if !ok || e.Seq >= prev.Seq {
+				merged[string(e.Key)] = e
+			}
+		}
+	}
+	for _, e := range db.mem.Entries() {
+		prev, ok := merged[string(e.Key)]
+		if !ok || e.Seq >= prev.Seq {
+			merged[string(e.Key)] = e
+		}
+	}
+	it := &Iterator{}
+	for _, e := range merged {
+		if e.Value == nil {
+			continue // tombstone
+		}
+		it.entries = append(it.entries, e)
+	}
+	sort.Slice(it.entries, func(i, j int) bool {
+		return bytes.Compare(it.entries[i].Key, it.entries[j].Key) < 0
+	})
+	if start != nil {
+		it.pos = sort.Search(len(it.entries), func(i int) bool {
+			return bytes.Compare(it.entries[i].Key, start) >= 0
+		})
+	}
+	return it, nil
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator) Valid() bool { return it.pos < len(it.entries) }
+
+// Key returns the current key; only valid while Valid().
+func (it *Iterator) Key() []byte { return it.entries[it.pos].Key }
+
+// Value returns the current value; only valid while Valid().
+func (it *Iterator) Value() []byte { return it.entries[it.pos].Value }
+
+// Next advances the iterator.
+func (it *Iterator) Next() { it.pos++ }
+
+// Scan returns up to limit live key/value pairs in [start, end) — end nil
+// means unbounded, limit ≤ 0 means unlimited.
+func (db *DB) Scan(start, end []byte, limit int) ([]Entry, error) {
+	it, err := db.NewIterator(start)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for ; it.Valid(); it.Next() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		out = append(out, Entry{Key: it.Key(), Value: it.Value()})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}

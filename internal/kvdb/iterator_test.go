@@ -1,0 +1,129 @@
+package kvdb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func fillKeys(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIteratorFullOrder(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 2 << 10}) // force flushes + compactions
+	fillKeys(t, r.db, 200)
+	it, err := r.db.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev []byte
+	for ; it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("keys out of order: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+	}
+	if count != 200 {
+		t.Fatalf("iterated %d keys, want 200", count)
+	}
+}
+
+func TestIteratorSeesAllLayers(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 2 << 10})
+	fillKeys(t, r.db, 100) // spread over L0/L1
+	// Fresh writes stay in the memtable.
+	r.db.Put([]byte("zzz-memtable"), []byte("fresh"))
+	it, err := r.db.NewIterator([]byte("zzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Valid() || string(it.Key()) != "zzz-memtable" {
+		t.Fatal("memtable entry missing from iterator")
+	}
+}
+
+func TestIteratorSkipsTombstones(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 2 << 10})
+	fillKeys(t, r.db, 50)
+	for i := 0; i < 25; i++ {
+		r.db.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	entries, err := r.db.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 25 {
+		t.Fatalf("scan saw %d keys, want 25", len(entries))
+	}
+	if string(entries[0].Key) != "k0025" {
+		t.Fatalf("first surviving key %q", entries[0].Key)
+	}
+}
+
+func TestIteratorOverwriteWins(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 2 << 10})
+	fillKeys(t, r.db, 60) // pushes early keys into tables
+	r.db.Put([]byte("k0001"), []byte("new-value"))
+	entries, err := r.db.Scan([]byte("k0001"), []byte("k0002"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || string(entries[0].Value) != "new-value" {
+		t.Fatalf("scan returned %v", entries)
+	}
+}
+
+func TestScanRangeAndLimit(t *testing.T) {
+	r := newRig(t, Options{})
+	fillKeys(t, r.db, 30)
+	entries, err := r.db.Scan([]byte("k0010"), []byte("k0020"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("range scan = %d entries", len(entries))
+	}
+	limited, err := r.db.Scan(nil, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 5 {
+		t.Fatalf("limited scan = %d entries", len(limited))
+	}
+}
+
+func TestIteratorSnapshotIsolation(t *testing.T) {
+	r := newRig(t, Options{})
+	fillKeys(t, r.db, 10)
+	it, err := r.db.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.db.Put([]byte("k9999"), []byte("after-snapshot"))
+	count := 0
+	for ; it.Valid(); it.Next() {
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("snapshot saw %d keys, want 10", count)
+	}
+}
+
+func TestIteratorOnCrashedDB(t *testing.T) {
+	r := newRig(t, Options{})
+	r.db.crash(fmt.Errorf("synthetic"))
+	if _, err := r.db.NewIterator(nil); err == nil {
+		t.Fatal("iterator on crashed DB should fail")
+	}
+	if _, err := r.db.Scan(nil, nil, 0); err == nil {
+		t.Fatal("scan on crashed DB should fail")
+	}
+}

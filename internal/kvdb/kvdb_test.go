@@ -1,0 +1,470 @@
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/hdd"
+	"deepnote/internal/jfs"
+	"deepnote/internal/simclock"
+)
+
+type rig struct {
+	clock *simclock.Virtual
+	disk  *blockdev.Disk
+	fs    *jfs.FS
+	db    *DB
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	drive, err := hdd.NewDrive(hdd.Barracuda500(), clock, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := blockdev.NewDisk(drive)
+	if err := jfs.Mkfs(disk, jfs.MkfsOptions{Blocks: 1 << 17}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := jfs.Mount(disk, clock, jfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(fs, clock, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, disk: disk, fs: fs, db: db}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := newRig(t, Options{})
+	if err := r.db.Put([]byte("key1"), []byte("value1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.db.Get([]byte("key1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "value1" {
+		t.Fatalf("got %q", v)
+	}
+	if _, err := r.db.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	r := newRig(t, Options{})
+	r.db.Put([]byte("k"), []byte("v1"))
+	r.db.Put([]byte("k"), []byte("v2"))
+	v, _ := r.db.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if err := r.db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestMemtableFlushCreatesTables(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 8 << 10})
+	val := bytes.Repeat([]byte{7}, 100)
+	for i := 0; i < 200; i++ {
+		if err := r.db.Put(benchKey(i, 16), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.db.Stats().MemtableFlushes == 0 {
+		t.Fatal("expected memtable flushes")
+	}
+	l0, l1 := r.db.Levels()
+	if l0+l1 == 0 {
+		t.Fatal("expected tables on disk")
+	}
+	// All keys must still resolve after flushes.
+	for i := 0; i < 200; i++ {
+		if _, err := r.db.Get(benchKey(i, 16)); err != nil {
+			t.Fatalf("key %d lost after flush: %v", i, err)
+		}
+	}
+}
+
+func TestCompactionMergesAndDropsTombstones(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 4 << 10, L0CompactTrigger: 2})
+	val := bytes.Repeat([]byte{9}, 100)
+	for i := 0; i < 100; i++ {
+		r.db.Put(benchKey(i, 16), val)
+	}
+	for i := 0; i < 50; i++ {
+		r.db.Delete(benchKey(i, 16))
+	}
+	for i := 100; i < 200; i++ {
+		r.db.Put(benchKey(i, 16), val)
+	}
+	if err := r.db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.db.Stats().Compactions == 0 {
+		t.Fatal("expected compactions")
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.db.Get(benchKey(i, 16)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key %d visible: %v", i, err)
+		}
+	}
+	for i := 50; i < 200; i++ {
+		if _, err := r.db.Get(benchKey(i, 16)); err != nil {
+			t.Fatalf("key %d lost in compaction: %v", i, err)
+		}
+	}
+}
+
+func TestWALRecoveryAfterCrash(t *testing.T) {
+	r := newRig(t, Options{})
+	r.db.Put([]byte("durable"), []byte("yes"))
+	r.db.Put([]byte("gone"), []byte("maybe"))
+	if err := r.db.Flush(); err != nil { // WAL + memtable durable
+		t.Fatal(err)
+	}
+	// Crash: reopen the filesystem and database without Close.
+	fs2, err := jfs.Mount(r.disk, r.clock, jfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(fs2, r.clock, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"durable", "gone"} {
+		if _, err := db2.Get([]byte(k)); err != nil {
+			t.Fatalf("key %q lost after recovery: %v", k, err)
+		}
+	}
+}
+
+func TestWALReplayRebuildsMemtableOnly(t *testing.T) {
+	// Records synced to the WAL file but never flushed to a table must
+	// reappear after reopen.
+	r := newRig(t, Options{WALFlushBytes: 1}) // flush WAL after every write
+	r.db.Put([]byte("wal-only"), []byte("recovered"))
+	if err := r.db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := jfs.Mount(r.disk, r.clock, jfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(fs2, r.clock, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Get([]byte("wal-only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "recovered" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestReadYourWritesProperty(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 16 << 10})
+	model := map[string]string{}
+	prop := func(kRaw, vRaw uint16) bool {
+		k := fmt.Sprintf("key-%05d", kRaw%500)
+		v := fmt.Sprintf("val-%d", vRaw)
+		if err := r.db.Put([]byte(k), []byte(v)); err != nil {
+			return false
+		}
+		model[k] = v
+		// Verify a previously written key still reads correctly.
+		for mk, mv := range model {
+			got, err := r.db.Get([]byte(mk))
+			if err != nil || string(got) != mv {
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchFillAndReadRandom(t *testing.T) {
+	r := newRig(t, Options{})
+	b := NewBench(r.db, r.clock)
+	fill, err := b.Run(BenchSpec{Workload: WorkloadFillRandom, Num: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill.Ops != 2000 || fill.Errors != 0 {
+		t.Fatalf("fill: %+v", fill)
+	}
+	read, err := b.Run(BenchSpec{Workload: WorkloadReadRandom, Num: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.Ops != 2000 {
+		t.Fatalf("read: %+v", read)
+	}
+	if read.OpsPerSec() <= 0 || fill.ThroughputMBps() <= 0 {
+		t.Fatal("rates must be positive")
+	}
+}
+
+func TestBenchValidation(t *testing.T) {
+	r := newRig(t, Options{})
+	b := NewBench(r.db, r.clock)
+	if _, err := b.Run(BenchSpec{Workload: "nonsense"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := b.Run(BenchSpec{Workload: WorkloadFillSeq}); err == nil {
+		t.Fatal("fill without Num accepted")
+	}
+	if _, err := b.Run(BenchSpec{Workload: WorkloadReadWhileWriting}); err == nil {
+		t.Fatal("readwhilewriting without Runtime accepted")
+	}
+	if _, err := b.Run(BenchSpec{Workload: WorkloadReadRandom}); err == nil {
+		t.Fatal("readrandom without Num accepted")
+	}
+}
+
+func TestReadWhileWritingBaselineMatchesPaper(t *testing.T) {
+	// Paper Table 2, "No Attack": ≈8.7 MB/s and ≈1.1e5 ops/s.
+	r := newRig(t, Options{})
+	b := NewBench(r.db, r.clock)
+	if _, err := b.Run(BenchSpec{Workload: WorkloadFillRandom, Num: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(BenchSpec{Workload: WorkloadReadWhileWriting, Runtime: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.OpsPerSec()
+	if ops < 0.75e5 || ops > 1.5e5 {
+		t.Fatalf("ops/s = %.0f, want ≈1.1e5", ops)
+	}
+	mbps := res.ThroughputMBps()
+	if mbps < 6 || mbps > 14 {
+		t.Fatalf("throughput = %.1f MB/s, want ≈8.7", mbps)
+	}
+}
+
+func TestReadWhileWritingCollapsesUnderAttack(t *testing.T) {
+	// Paper Table 2 at ≤10 cm: 0 MB/s, no I/O completes.
+	r := newRig(t, Options{})
+	b := NewBench(r.db, r.clock)
+	if _, err := b.Run(BenchSpec{Workload: WorkloadFillRandom, Num: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	r.disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 2.3})
+	res, err := b.Run(BenchSpec{Workload: WorkloadReadWhileWriting, Runtime: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ThroughputMBps(); got > 0.9 {
+		t.Fatalf("throughput under attack = %.2f MB/s, want ≈0", got)
+	}
+}
+
+func TestCrashAfterProlongedWALFailure(t *testing.T) {
+	// Paper Table 3: RocksDB crashes after ≈81 s with a WAL sync failure.
+	r := newRig(t, Options{WALStallLimit: 20 * time.Second, WALFlushBytes: 1})
+	if err := r.db.Put([]byte("seed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	attackStart := r.clock.Now()
+	r.disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 2.3})
+	var crashErr error
+	for i := 0; i < 200; i++ {
+		if err := r.db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			if crashed, cerr := r.db.Crashed(); crashed {
+				crashErr = cerr
+				break
+			}
+		}
+	}
+	if crashErr == nil {
+		t.Fatal("database did not crash")
+	}
+	if !errors.Is(crashErr, ErrCrashed) {
+		t.Fatalf("crash error = %v", crashErr)
+	}
+	ttc := r.db.CrashedAt().Sub(attackStart)
+	if ttc < 20*time.Second || ttc > 40*time.Second {
+		t.Fatalf("time to crash = %v, want ≈ stall limit", ttc)
+	}
+	// Everything fails fast after the crash.
+	if err := r.db.Put([]byte("x"), []byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("put after crash: %v", err)
+	}
+	if _, err := r.db.Get([]byte("seed")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("get after crash: %v", err)
+	}
+}
+
+func TestRecoveryIfAttackStopsInTime(t *testing.T) {
+	// The attack lifts after 5 s of virtual stall — within the stall
+	// limit — so the blocked put completes and the database survives.
+	r := newRig(t, Options{WALStallLimit: 60 * time.Second, WALFlushBytes: 1})
+	r.db.SetRetryHook(func(stalled time.Duration) bool {
+		if stalled >= 5*time.Second {
+			r.disk.Drive().SetVibration(hdd.Quiet())
+		}
+		return true
+	})
+	r.disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 2.3})
+	if err := r.db.Put([]byte("blocked"), []byte("v")); err != nil {
+		t.Fatalf("put should have recovered: %v", err)
+	}
+	if crashed, _ := r.db.Crashed(); crashed {
+		t.Fatal("database crashed despite recovery")
+	}
+	if r.db.Stats().WALErrors == 0 {
+		t.Fatal("expected WAL retries during the stall")
+	}
+	v, err := r.db.Get([]byte("blocked"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("recovered value: %q %v", v, err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	r := newRig(t, Options{})
+	r.db.Put([]byte("k"), []byte("v"))
+	if err := r.db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.db.Put([]byte("k2"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if err := r.db.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestMemtableOrderingAndTombstones(t *testing.T) {
+	m := NewMemtable(1)
+	m.Put([]byte("b"), []byte("2"), 1)
+	m.Put([]byte("a"), []byte("1"), 2)
+	m.Put([]byte("c"), []byte("3"), 3)
+	m.Delete([]byte("b"), 4)
+	entries := m.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if string(entries[0].Key) != "a" || string(entries[2].Key) != "c" {
+		t.Fatal("entries out of order")
+	}
+	if entries[1].Value != nil {
+		t.Fatal("tombstone lost")
+	}
+	v, found := m.Get([]byte("b"))
+	if !found || v != nil {
+		t.Fatal("tombstone should be found with nil value")
+	}
+}
+
+func TestMemtableStaleWriteIgnored(t *testing.T) {
+	m := NewMemtable(1)
+	m.Put([]byte("k"), []byte("new"), 10)
+	m.Put([]byte("k"), []byte("old"), 5)
+	v, _ := m.Get([]byte("k"))
+	if string(v) != "new" {
+		t.Fatalf("stale write won: %q", v)
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	rec := walRecord{seq: 42, op: walOpPut, key: []byte("k"), value: []byte("v")}
+	got, n, err := decodeWALRecord(rec.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rec.encode()) || got.seq != 42 || string(got.key) != "k" || string(got.value) != "v" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Corrupt CRC.
+	enc := rec.encode()
+	enc[10] ^= 0xFF
+	if _, _, err := decodeWALRecord(enc); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+	// Zero fill reads as EOF.
+	if _, _, err := decodeWALRecord(make([]byte, 64)); err == nil {
+		t.Fatal("zero fill should not decode")
+	}
+}
+
+func TestSSTableRoundTrip(t *testing.T) {
+	r := newRig(t, Options{})
+	entries := []Entry{
+		{Key: []byte("a"), Value: []byte("1"), Seq: 1},
+		{Key: []byte("b"), Value: nil, Seq: 2}, // tombstone
+		{Key: []byte("c"), Value: []byte("3"), Seq: 3},
+	}
+	tbl, err := writeSSTable(r.fs, "sst-0-000001", entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, found, err := tbl.Get([]byte("b"))
+	if err != nil || !found || e.Value != nil {
+		t.Fatalf("tombstone get: %v %v %+v", err, found, e)
+	}
+	if _, found, _ := tbl.Get([]byte("zz")); found {
+		t.Fatal("out-of-range key found")
+	}
+	reopened, err := openSSTable(r.fs, "sst-0-000001", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, found, err = reopened.Get([]byte("c"))
+	if err != nil || !found || string(e.Value) != "3" {
+		t.Fatalf("uncached get: %v %v %+v", err, found, e)
+	}
+	all, err := reopened.Entries()
+	if err != nil || len(all) != 3 {
+		t.Fatalf("entries: %v %d", err, len(all))
+	}
+	if tbl.Count() != 3 {
+		t.Fatal("count mismatch")
+	}
+	min, max := tbl.KeyRange()
+	if string(min) != "a" || string(max) != "c" {
+		t.Fatalf("range %q..%q", min, max)
+	}
+}
+
+func TestBloomFilterNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add(benchKey(i, 16))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(benchKey(i, 16)) {
+			t.Fatalf("false negative at %d", i)
+		}
+	}
+	// False positive rate sanity: most absent keys excluded.
+	fp := 0
+	for i := 1000; i < 2000; i++ {
+		if b.mayContain(benchKey(i, 16)) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Fatalf("false positive rate too high: %d/1000", fp)
+	}
+}

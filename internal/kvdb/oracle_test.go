@@ -1,0 +1,102 @@
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestOracleRandomOpsWithReopens drives the store with a random mix of
+// puts, deletes, overwrites, flushes, and full crash-reopen cycles,
+// mirrored against a map; the store must agree with the map at every
+// checkpoint. This exercises memtable, WAL recovery, SSTables, and
+// compaction together.
+func TestOracleRandomOpsWithReopens(t *testing.T) {
+	r := newRig(t, Options{MemtableBytes: 4 << 10, L0CompactTrigger: 3})
+	db := r.db
+	rng := rand.New(rand.NewSource(2024))
+	model := make(map[string]string)
+
+	key := func() string { return fmt.Sprintf("key-%03d", rng.Intn(300)) }
+	verify := func(step int) {
+		t.Helper()
+		for k, want := range model {
+			got, err := db.Get([]byte(k))
+			if err != nil {
+				t.Fatalf("step %d: get %q: %v", step, k, err)
+			}
+			if string(got) != want {
+				t.Fatalf("step %d: %q = %q, model %q", step, k, got, want)
+			}
+		}
+		// Spot-check absent keys.
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(300))
+			if _, ok := model[k]; ok {
+				continue
+			}
+			if _, err := db.Get([]byte(k)); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("step %d: deleted/missing %q visible: %v", step, k, err)
+			}
+		}
+		// The iterator view must match the model exactly.
+		entries, err := db.Scan(nil, nil, 0)
+		if err != nil {
+			t.Fatalf("step %d: scan: %v", step, err)
+		}
+		if len(entries) != len(model) {
+			t.Fatalf("step %d: scan %d keys, model %d", step, len(entries), len(model))
+		}
+		var prev []byte
+		for _, e := range entries {
+			if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+				t.Fatalf("step %d: scan out of order", step)
+			}
+			prev = e.Key
+			if model[string(e.Key)] != string(e.Value) {
+				t.Fatalf("step %d: scan %q mismatch", step, e.Key)
+			}
+		}
+	}
+
+	const steps = 1200
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(20); {
+		case op < 12: // put / overwrite
+			k := key()
+			v := fmt.Sprintf("val-%d", i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("step %d: put: %v", i, err)
+			}
+			model[k] = v
+		case op < 16: // delete (possibly absent)
+			k := key()
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatalf("step %d: delete: %v", i, err)
+			}
+			delete(model, k)
+		case op < 18: // explicit flush
+			if err := db.Flush(); err != nil {
+				t.Fatalf("step %d: flush: %v", i, err)
+			}
+		default: // crash + reopen
+			if err := db.SyncWAL(); err != nil {
+				t.Fatalf("step %d: sync: %v", i, err)
+			}
+			fs2, err := remount(r)
+			if err != nil {
+				t.Fatalf("step %d: remount: %v", i, err)
+			}
+			db, err = Open(fs2, r.clock, Options{MemtableBytes: 4 << 10, L0CompactTrigger: 3})
+			if err != nil {
+				t.Fatalf("step %d: reopen: %v", i, err)
+			}
+		}
+		if i%200 == 199 {
+			verify(i)
+		}
+	}
+	verify(steps)
+}

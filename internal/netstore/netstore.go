@@ -1,0 +1,172 @@
+// Package netstore models a small networked object store running on the
+// victim drive: GET and PUT requests served over a network with realistic
+// round-trip jitter and a server-side timeout. It exists to realize the
+// paper's §3 reconnaissance premise — an attacker who cannot see the
+// drive can still *remotely* observe request latencies of "online
+// applications that use the target data center" and use them to find the
+// vulnerable frequencies.
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/simclock"
+)
+
+// Errors reported to clients.
+var (
+	// ErrTimeout means the server gave up on the backing store.
+	ErrTimeout = errors.New("netstore: request timed out")
+	// ErrBadRequest reports malformed requests.
+	ErrBadRequest = errors.New("netstore: bad request")
+)
+
+// Config tunes the service.
+type Config struct {
+	// NetRTT is the mean network round-trip added to every request
+	// (default 2 ms).
+	NetRTT time.Duration
+	// RTTJitter is the uniform ± jitter on the RTT (default 0.5 ms).
+	RTTJitter time.Duration
+	// Timeout bounds a request's storage time before the server answers
+	// 503 (default 5 s, a typical load-balancer budget).
+	Timeout time.Duration
+	// ObjectSize is the fixed object size in bytes (default 64 KiB).
+	ObjectSize int
+	// Objects is the number of addressable objects (default 1024).
+	Objects int
+	// Seed drives the jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NetRTT <= 0 {
+		c.NetRTT = 2 * time.Millisecond
+	}
+	if c.RTTJitter <= 0 {
+		c.RTTJitter = 500 * time.Microsecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.ObjectSize <= 0 {
+		c.ObjectSize = 64 << 10
+	}
+	if c.Objects <= 0 {
+		c.Objects = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Op is the request type.
+type Op int
+
+// Request operations.
+const (
+	Get Op = iota
+	Put
+)
+
+// String names the op.
+func (o Op) String() string {
+	if o == Put {
+		return "PUT"
+	}
+	return "GET"
+}
+
+// Response is what a remote client observes: latency and status only.
+type Response struct {
+	// Latency is the client-observed round-trip time.
+	Latency time.Duration
+	// Err is nil on success; a remote client sees only the class of
+	// failure (timeout vs. error), never drive internals.
+	Err error
+}
+
+// Server is the storage service.
+type Server struct {
+	dev   blockdev.Device
+	clock simclock.Clock
+	cfg   Config
+	rng   *rand.Rand
+
+	// Stats
+	Requests, Timeouts, Errors int64
+}
+
+// NewServer starts a service over a device.
+func NewServer(dev blockdev.Device, clock simclock.Clock, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{dev: dev, clock: clock, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// rtt samples one network round trip.
+func (s *Server) rtt() time.Duration {
+	j := time.Duration(s.rng.Int63n(int64(2*s.cfg.RTTJitter))) - s.cfg.RTTJitter
+	return s.cfg.NetRTT + j
+}
+
+// Handle serves one request against the backing store and returns the
+// client-observed response. The storage operation is bounded by the
+// server's timeout: a drive that stops responding turns into 503s, which
+// is exactly the externally visible signal the attacker keys on.
+func (s *Server) Handle(op Op, objectID int) Response {
+	s.Requests++
+	if objectID < 0 || objectID >= s.cfg.Objects {
+		s.Errors++
+		return Response{Err: fmt.Errorf("%w: object %d", ErrBadRequest, objectID)}
+	}
+	start := s.clock.Now()
+	net := s.rtt()
+	s.clock.Sleep(net / 2) // request flight
+
+	buf := make([]byte, s.cfg.ObjectSize)
+	off := int64(objectID) * int64(s.cfg.ObjectSize)
+	var err error
+	if op == Put {
+		for i := range buf {
+			buf[i] = byte(objectID + i)
+		}
+		_, err = s.dev.WriteAt(buf, off)
+	} else {
+		_, err = s.dev.ReadAt(buf, off)
+	}
+	storageTime := s.clock.Now().Sub(start) - net/2
+
+	s.clock.Sleep(net / 2) // response flight
+	resp := Response{Latency: s.clock.Now().Sub(start)}
+	switch {
+	case err != nil && storageTime >= s.cfg.Timeout:
+		s.Timeouts++
+		resp.Err = ErrTimeout
+	case err != nil:
+		s.Errors++
+		resp.Err = fmt.Errorf("netstore: internal storage error")
+	case storageTime >= s.cfg.Timeout:
+		// Completed, but past the budget: the client already gave up.
+		s.Timeouts++
+		resp.Err = ErrTimeout
+	}
+	return resp
+}
+
+// Preload writes every object once so GETs hit allocated storage.
+func (s *Server) Preload() error {
+	for i := 0; i < s.cfg.Objects; i++ {
+		if r := s.Handle(Put, i); r.Err != nil {
+			return fmt.Errorf("netstore: preload object %d: %w", i, r.Err)
+		}
+	}
+	return nil
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }

@@ -1,0 +1,122 @@
+package netstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/hdd"
+	"deepnote/internal/simclock"
+)
+
+func newServer(t *testing.T, cfg Config) (*Server, *blockdev.Disk, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	drive, err := hdd.NewDrive(hdd.Barracuda500(), clock, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := blockdev.NewDisk(drive)
+	return NewServer(disk, clock, cfg), disk, clock
+}
+
+func TestHealthyRequests(t *testing.T) {
+	s, _, _ := newServer(t, Config{})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Handle(Get, 7)
+	if r.Err != nil {
+		t.Fatalf("get: %v", r.Err)
+	}
+	// Latency ≈ net RTT + storage (64 KiB ≈ 0.7 ms + seek).
+	if r.Latency < time.Millisecond || r.Latency > 50*time.Millisecond {
+		t.Fatalf("latency = %v", r.Latency)
+	}
+	w := s.Handle(Put, 7)
+	if w.Err != nil {
+		t.Fatalf("put: %v", w.Err)
+	}
+}
+
+func TestBadRequest(t *testing.T) {
+	s, _, _ := newServer(t, Config{})
+	if r := s.Handle(Get, -1); !errors.Is(r.Err, ErrBadRequest) {
+		t.Fatalf("negative id: %v", r.Err)
+	}
+	if r := s.Handle(Get, 1<<20); !errors.Is(r.Err, ErrBadRequest) {
+		t.Fatalf("huge id: %v", r.Err)
+	}
+	if s.Errors != 2 {
+		t.Fatalf("errors = %d", s.Errors)
+	}
+}
+
+func TestAttackTurnsIntoVisibleFailures(t *testing.T) {
+	s, disk, _ := newServer(t, Config{Timeout: time.Second})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Handle(Put, 2).Latency
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 3})
+	r := s.Handle(Put, 3)
+	if r.Err == nil {
+		t.Fatal("put under full attack should fail")
+	}
+	if s.Timeouts+s.Errors == 0 {
+		t.Fatal("failure not counted")
+	}
+	// The failure is externally visible through latency too: the drive
+	// burned its whole retry budget first.
+	if r.Latency < 10*base {
+		t.Fatalf("latency = %v, want well above baseline %v", r.Latency, base)
+	}
+}
+
+func TestSlowCompletionClassifiedAsTimeout(t *testing.T) {
+	// A request that exceeds the server budget is a timeout to the
+	// client even when the storage eventually answers.
+	s, disk, _ := newServer(t, Config{Timeout: 100 * time.Millisecond})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.2})
+	sawTimeout := false
+	for i := 0; i < 40 && !sawTimeout; i++ {
+		r := s.Handle(Put, i)
+		if errors.Is(r.Err, ErrTimeout) {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Fatal("no request exceeded the 100 ms budget under moderate attack")
+	}
+}
+
+func TestModerateAttackRaisesLatencyWithoutTimeout(t *testing.T) {
+	s, disk, _ := newServer(t, Config{})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Handle(Put, 5).Latency
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 0.17})
+	slow := s.Handle(Put, 6)
+	if slow.Err != nil {
+		t.Fatalf("moderate attack should not time out: %v", slow.Err)
+	}
+	if slow.Latency < 2*base {
+		t.Fatalf("latency %v should visibly exceed baseline %v", slow.Latency, base)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s, _, _ := newServer(t, Config{})
+	cfg := s.Config()
+	if cfg.ObjectSize != 64<<10 || cfg.Objects != 1024 || cfg.Timeout != 5*time.Second {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if Get.String() != "GET" || Put.String() != "PUT" {
+		t.Fatal("op names")
+	}
+}

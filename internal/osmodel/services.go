@@ -1,0 +1,175 @@
+package osmodel
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/jfs"
+)
+
+// ServiceState is a managed service's lifecycle state.
+type ServiceState int
+
+// Service states.
+const (
+	ServiceRunning ServiceState = iota
+	ServiceRestarting
+	ServiceFailed
+)
+
+// String names the state.
+func (s ServiceState) String() string {
+	switch s {
+	case ServiceRunning:
+		return "running"
+	case ServiceRestarting:
+		return "restarting"
+	case ServiceFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ServiceSpec declares a managed service: a daemon whose health depends on
+// periodically paging in its binary and appending to its log — the two
+// storage dependencies that make services collateral damage of the attack.
+type ServiceSpec struct {
+	// Name is the unit name (also names its on-disk binary "svc_<name>").
+	Name string
+	// Interval is the service's periodic work cadence.
+	Interval time.Duration
+	// BinaryBlocks sizes the service binary.
+	BinaryBlocks int
+	// MaxRestarts bounds restart attempts before the unit fails
+	// permanently (systemd-style start limit).
+	MaxRestarts int
+}
+
+// Service is a managed instance.
+type Service struct {
+	Spec     ServiceSpec
+	State    ServiceState
+	Restarts int
+	nextWork time.Time
+	logSeq   int
+}
+
+// StandardServices is a typical server's unit set.
+func StandardServices() []ServiceSpec {
+	return []ServiceSpec{
+		{Name: "sshd", Interval: 3 * time.Second, BinaryBlocks: 8, MaxRestarts: 3},
+		{Name: "cron", Interval: 5 * time.Second, BinaryBlocks: 4, MaxRestarts: 3},
+		{Name: "httpd", Interval: time.Second, BinaryBlocks: 16, MaxRestarts: 5},
+	}
+}
+
+// StartServices installs and starts the given units on the server.
+func (s *Server) StartServices(specs []ServiceSpec) error {
+	if !s.booted {
+		return ErrNotBooted
+	}
+	for _, spec := range specs {
+		bin := "svc_" + spec.Name
+		f, err := s.fs.Open(bin)
+		if err != nil {
+			f, err = s.fs.Create(bin)
+			if err == nil {
+				content := make([]byte, spec.BinaryBlocks*jfs.BlockSize)
+				for i := range content {
+					content[i] = byte(i * 17)
+				}
+				_, err = f.WriteAt(content, 0)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("osmodel: installing service %s: %w", spec.Name, err)
+		}
+		s.services = append(s.services, &Service{
+			Spec:     spec,
+			State:    ServiceRunning,
+			nextWork: s.clock.Now().Add(spec.Interval),
+		})
+		s.dmesg.Logf(s.clock.Now(), "systemd[1]: Started %s.service", spec.Name)
+	}
+	return nil
+}
+
+// Services returns the managed units (live pointers; callers must not
+// mutate).
+func (s *Server) Services() []*Service { return s.services }
+
+// ServiceByName finds a unit.
+func (s *Server) ServiceByName(name string) (*Service, bool) {
+	for _, svc := range s.services {
+		if svc.Spec.Name == name {
+			return svc, true
+		}
+	}
+	return nil, false
+}
+
+// stepServices runs due service work: each working service pages in a
+// block of its binary and appends a log line. An I/O failure sends the
+// unit through restart; exhausting MaxRestarts fails it permanently.
+func (s *Server) stepServices() {
+	now := s.clock.Now()
+	for _, svc := range s.services {
+		if svc.State == ServiceFailed || now.Before(svc.nextWork) {
+			continue
+		}
+		svc.nextWork = now.Add(svc.Spec.Interval)
+		if err := s.serviceWork(svc); err != nil {
+			s.recordIOFailure("svc_"+svc.Spec.Name, 0, err)
+			switch svc.State {
+			case ServiceRunning:
+				svc.State = ServiceRestarting
+				svc.Restarts++
+				s.dmesg.Logf(now, "systemd[1]: %s.service: main process exited, scheduling restart", svc.Spec.Name)
+			case ServiceRestarting:
+				svc.Restarts++
+			}
+			if svc.Restarts > svc.Spec.MaxRestarts {
+				svc.State = ServiceFailed
+				s.dmesg.Logf(now, "systemd[1]: %s.service: start request repeated too quickly, refusing", svc.Spec.Name)
+			}
+			continue
+		}
+		if svc.State == ServiceRestarting {
+			svc.State = ServiceRunning
+			s.dmesg.Logf(now, "systemd[1]: %s.service: restarted", svc.Spec.Name)
+		}
+		s.criticalSuccess()
+	}
+}
+
+// serviceWork performs one unit's periodic storage-dependent work.
+func (s *Server) serviceWork(svc *Service) error {
+	bin, err := s.fs.Open("svc_" + svc.Spec.Name)
+	if err != nil {
+		return err
+	}
+	page := make([]byte, jfs.BlockSize)
+	block := int64(svc.logSeq % svc.Spec.BinaryBlocks)
+	if _, err := bin.ReadAt(page, block*jfs.BlockSize); err != nil {
+		return err
+	}
+	svc.logSeq++
+	line := fmt.Sprintf("%s %s[%d]: tick %d\n",
+		s.clock.Now().Format("Jan 02 15:04:05"), svc.Spec.Name, 100+svc.logSeq, svc.logSeq)
+	if _, err := s.logFile.Append([]byte(line)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunningServices counts healthy units.
+func (s *Server) RunningServices() int {
+	n := 0
+	for _, svc := range s.services {
+		if svc.State == ServiceRunning {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,368 @@
+// Package raid implements software RAID over simulated drives, to answer a
+// question the paper's data-center framing raises immediately: does
+// redundancy protect a submerged rack from an acoustic attack? The answer
+// the simulation gives — no, when every member shares the enclosure the
+// attack is a common-mode failure; yes, partially, when the array spans
+// acoustically separate containers — is exactly the kind of deployment
+// guidance the paper calls for in §5.
+//
+// Levels implemented: RAID-0 (striping), RAID-1 (mirroring), and RAID-5
+// (striping with rotating parity), over any blockdev.Device members.
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"deepnote/internal/blockdev"
+)
+
+// Level is the RAID level.
+type Level int
+
+// Supported levels.
+const (
+	RAID0 Level = 0
+	RAID1 Level = 1
+	RAID5 Level = 5
+)
+
+// String names the level.
+func (l Level) String() string { return fmt.Sprintf("RAID-%d", int(l)) }
+
+// Errors reported by the array.
+var (
+	// ErrDegraded means more members failed than the level tolerates.
+	ErrDegraded = errors.New("raid: array has failed beyond redundancy")
+	// ErrBadConfig reports invalid geometry.
+	ErrBadConfig = errors.New("raid: invalid configuration")
+)
+
+// StripeSize is the striping unit in bytes.
+const StripeSize = 64 << 10
+
+// Array is a RAID set over block devices.
+type Array struct {
+	level   Level
+	members []blockdev.Device
+	// failed marks members the array has given up on after an I/O error.
+	failed []bool
+	size   int64
+}
+
+// New assembles an array. RAID-0 and RAID-1 need ≥2 members, RAID-5 ≥3.
+func New(level Level, members []blockdev.Device) (*Array, error) {
+	min := 2
+	if level == RAID5 {
+		min = 3
+	}
+	if len(members) < min {
+		return nil, fmt.Errorf("%w: %v needs at least %d members, got %d",
+			ErrBadConfig, level, min, len(members))
+	}
+	switch level {
+	case RAID0, RAID1, RAID5:
+	default:
+		return nil, fmt.Errorf("%w: unsupported level %d", ErrBadConfig, int(level))
+	}
+	memberSize := members[0].Size()
+	for _, m := range members[1:] {
+		if m.Size() < memberSize {
+			memberSize = m.Size()
+		}
+	}
+	memberSize -= memberSize % StripeSize
+	a := &Array{
+		level:   level,
+		members: members,
+		failed:  make([]bool, len(members)),
+	}
+	switch level {
+	case RAID0:
+		a.size = memberSize * int64(len(members))
+	case RAID1:
+		a.size = memberSize
+	case RAID5:
+		a.size = memberSize * int64(len(members)-1)
+	}
+	return a, nil
+}
+
+// Size returns the usable capacity.
+func (a *Array) Size() int64 { return a.size }
+
+// Level returns the array's RAID level.
+func (a *Array) Level() Level { return a.level }
+
+// FailedMembers returns the indexes of members marked failed.
+func (a *Array) FailedMembers() []int {
+	var out []int
+	for i, f := range a.failed {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Healthy reports whether the array can still serve all I/O.
+func (a *Array) Healthy() bool {
+	n := len(a.FailedMembers())
+	switch a.level {
+	case RAID0:
+		return n == 0
+	case RAID1:
+		return n < len(a.members)
+	case RAID5:
+		return n <= 1
+	}
+	return false
+}
+
+// stripeOf maps a logical offset to (member, memberOffset) for data, plus
+// the parity member for RAID-5.
+func (a *Array) stripeOf(off int64) (member int, memberOff int64, parity int) {
+	stripe := off / StripeSize
+	in := off % StripeSize
+	n := int64(len(a.members))
+	switch a.level {
+	case RAID0:
+		member = int(stripe % n)
+		memberOff = (stripe/n)*StripeSize + in
+	case RAID1:
+		member = 0
+		memberOff = off
+	case RAID5:
+		row := stripe / (n - 1)
+		parity = int(row % n) // rotating parity
+		dataIdx := int(stripe % (n - 1))
+		member = dataIdx
+		if member >= parity {
+			member++
+		}
+		memberOff = row*StripeSize + in
+	}
+	return member, memberOff, parity
+}
+
+// ReadAt implements blockdev.Device-style reads with redundancy: RAID-1
+// falls over to another mirror, RAID-5 reconstructs from parity.
+func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > a.size {
+		return 0, fmt.Errorf("raid: read [%d,%d) outside array of %d", off, off+int64(len(p)), a.size)
+	}
+	done := 0
+	for done < len(p) {
+		n := chunkLen(off+int64(done), len(p)-done)
+		if err := a.readChunk(p[done:done+n], off+int64(done)); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	return done, nil
+}
+
+func chunkLen(off int64, remain int) int {
+	in := off % StripeSize
+	n := StripeSize - in
+	if int64(remain) < n {
+		return remain
+	}
+	return int(n)
+}
+
+func (a *Array) readChunk(p []byte, off int64) error {
+	member, memberOff, parity := a.stripeOf(off)
+	switch a.level {
+	case RAID0:
+		if a.failed[member] {
+			return fmt.Errorf("%w: member %d lost and RAID-0 has no redundancy", ErrDegraded, member)
+		}
+		if _, err := a.members[member].ReadAt(p, memberOff); err != nil {
+			a.failed[member] = true
+			return fmt.Errorf("%w: member %d: %v", ErrDegraded, member, err)
+		}
+		return nil
+	case RAID1:
+		var lastErr error
+		for i, m := range a.members {
+			if a.failed[i] {
+				continue
+			}
+			if _, err := m.ReadAt(p, off); err == nil {
+				return nil
+			} else {
+				a.failed[i] = true
+				lastErr = err
+			}
+		}
+		return fmt.Errorf("%w: all mirrors failed: %v", ErrDegraded, lastErr)
+	case RAID5:
+		if !a.failed[member] {
+			if _, err := a.members[member].ReadAt(p, memberOff); err == nil {
+				return nil
+			}
+			a.failed[member] = true
+		}
+		return a.reconstruct(p, member, memberOff, parity)
+	}
+	return fmt.Errorf("%w: unsupported level", ErrBadConfig)
+}
+
+// reconstruct rebuilds a RAID-5 chunk by XORing the surviving members.
+func (a *Array) reconstruct(p []byte, lost int, memberOff int64, parity int) error {
+	if len(a.FailedMembers()) > 1 {
+		return fmt.Errorf("%w: %d members down", ErrDegraded, len(a.FailedMembers()))
+	}
+	_ = parity
+	zero(p)
+	buf := make([]byte, len(p))
+	for i, m := range a.members {
+		if i == lost {
+			continue
+		}
+		if _, err := m.ReadAt(buf, memberOff); err != nil {
+			a.failed[i] = true
+			return fmt.Errorf("%w: reconstruction read from member %d: %v", ErrDegraded, i, err)
+		}
+		xorInto(p, buf)
+	}
+	return nil
+}
+
+// WriteAt implements redundant writes: RAID-1 writes all mirrors, RAID-5
+// updates data and parity.
+func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > a.size {
+		return 0, fmt.Errorf("raid: write [%d,%d) outside array of %d", off, off+int64(len(p)), a.size)
+	}
+	done := 0
+	for done < len(p) {
+		n := chunkLen(off+int64(done), len(p)-done)
+		if err := a.writeChunk(p[done:done+n], off+int64(done)); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	return done, nil
+}
+
+func (a *Array) writeChunk(p []byte, off int64) error {
+	member, memberOff, parity := a.stripeOf(off)
+	switch a.level {
+	case RAID0:
+		if a.failed[member] {
+			return fmt.Errorf("%w: member %d lost", ErrDegraded, member)
+		}
+		if _, err := a.members[member].WriteAt(p, memberOff); err != nil {
+			a.failed[member] = true
+			return fmt.Errorf("%w: member %d: %v", ErrDegraded, member, err)
+		}
+		return nil
+	case RAID1:
+		ok := 0
+		for i, m := range a.members {
+			if a.failed[i] {
+				continue
+			}
+			if _, err := m.WriteAt(p, off); err != nil {
+				a.failed[i] = true
+				continue
+			}
+			ok++
+		}
+		if ok == 0 {
+			return fmt.Errorf("%w: no mirror accepted the write", ErrDegraded)
+		}
+		return nil
+	case RAID5:
+		return a.writeRAID5(p, member, memberOff, parity)
+	}
+	return fmt.Errorf("%w: unsupported level", ErrBadConfig)
+}
+
+// writeRAID5 performs read-modify-write parity maintenance.
+func (a *Array) writeRAID5(p []byte, member int, memberOff int64, parity int) error {
+	if len(a.FailedMembers()) > 1 {
+		return fmt.Errorf("%w: %d members down", ErrDegraded, len(a.FailedMembers()))
+	}
+	oldData := make([]byte, len(p))
+	oldParity := make([]byte, len(p))
+
+	dataOK := !a.failed[member]
+	parityOK := !a.failed[parity]
+	if dataOK {
+		if _, err := a.members[member].ReadAt(oldData, memberOff); err != nil {
+			a.failed[member] = true
+			dataOK = false
+		}
+	}
+	if parityOK {
+		// The parity chunk sits at the same row offset on its member.
+		if _, err := a.members[parity].ReadAt(oldParity, memberOff); err != nil {
+			a.failed[parity] = true
+			parityOK = false
+		}
+	}
+	if !dataOK && !parityOK {
+		return fmt.Errorf("%w: data and parity members both down", ErrDegraded)
+	}
+	// New parity = old parity XOR old data XOR new data (when both
+	// legible); with one leg down, write what survives.
+	if dataOK {
+		if _, err := a.members[member].WriteAt(p, memberOff); err != nil {
+			a.failed[member] = true
+			dataOK = false
+		}
+	}
+	if parityOK {
+		newParity := make([]byte, len(p))
+		copy(newParity, oldParity)
+		xorInto(newParity, oldData)
+		xorInto(newParity, p)
+		if _, err := a.members[parity].WriteAt(newParity, memberOff); err != nil {
+			a.failed[parity] = true
+			parityOK = false
+		}
+	}
+	if !dataOK && !parityOK {
+		return fmt.Errorf("%w: write lost both data and parity", ErrDegraded)
+	}
+	return nil
+}
+
+// Flush flushes every healthy member.
+func (a *Array) Flush() error {
+	var lastErr error
+	ok := 0
+	for i, m := range a.members {
+		if a.failed[i] {
+			continue
+		}
+		if err := m.Flush(); err != nil {
+			a.failed[i] = true
+			lastErr = err
+			continue
+		}
+		ok++
+	}
+	if !a.Healthy() {
+		return fmt.Errorf("%w: flush: %v", ErrDegraded, lastErr)
+	}
+	_ = ok
+	return nil
+}
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+var _ blockdev.Device = (*Array)(nil)

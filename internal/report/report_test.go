@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1", "Distance", "Read", "Write")
+	tb.AddRow("No Attack", "18.0", "22.7")
+	tb.AddRow("1 cm", "0", "0")
+	out := tb.String()
+	if !strings.Contains(out, "Table 1") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "No Attack") || !strings.Contains(out, "22.7") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatal("row not padded")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1,5", "plain")
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"1,5\"") {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("missing header: %s", csv)
+	}
+	tb2 := NewTable("t", "a")
+	tb2.AddRow(`say "hi"`)
+	if !strings.Contains(tb2.CSV(), `"say ""hi"""`) {
+		t.Fatalf("quotes not escaped: %s", tb2.CSV())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Table 3", "App", "Time")
+	tb.AddRow("Ext4", "80.0")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| App | Time |") || !strings.Contains(md, "| Ext4 | 80.0 |") {
+		t.Fatalf("markdown wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "**Table 3**") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := Chart{
+		Title:  "Figure 2(a)",
+		XLabel: "Frequency (kHz)",
+		YLabel: "Throughput (MB/s)",
+		Series: []Series{
+			{Name: "Scenario 1", X: []float64{1, 2, 3}, Y: []float64{0, 10, 20}},
+			{Name: "Scenario 2", X: []float64{1, 2, 3}, Y: []float64{5, 15, 25}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "Figure 2(a)") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "Scenario 1") || !strings.Contains(out, "Scenario 2") {
+		t.Fatal("missing legend")
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatal("missing markers")
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	csv := c.CSV()
+	if !strings.Contains(csv, "series,x,y") || !strings.Contains(csv, "s,1,2") {
+		t.Fatalf("csv wrong: %s", csv)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if FormatMBps(0) != "0" {
+		t.Fatal("zero throughput")
+	}
+	if FormatMBps(18.04) != "18.0" {
+		t.Fatal("rounding")
+	}
+	if FormatLatencyMs(-1) != "-" {
+		t.Fatal("no-response marker")
+	}
+	if FormatLatencyMs(0.21) != "0.2" {
+		t.Fatal("latency format")
+	}
+}

@@ -1,0 +1,238 @@
+package sig
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepnote/internal/units"
+)
+
+func TestToneSample(t *testing.T) {
+	tone := NewTone(650 * units.Hz)
+	if got := tone.Sample(0); got != 0 {
+		t.Fatalf("Sample(0) = %v, want 0", got)
+	}
+	quarter := 1.0 / 650 / 4
+	if got := tone.Sample(quarter); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Sample(T/4) = %v, want 1", got)
+	}
+}
+
+func TestTonePhase(t *testing.T) {
+	tone := Tone{Freq: 100, Amplitude: 1, Phase: math.Pi / 2}
+	if got := tone.Sample(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("phase-shifted Sample(0) = %v, want 1", got)
+	}
+}
+
+func TestToneNormalize(t *testing.T) {
+	tone := Tone{Freq: -5, Amplitude: 3}.Normalize()
+	if tone.Amplitude != 1 || tone.Freq != 0 {
+		t.Fatalf("Normalize = %+v, want amp 1 freq 0", tone)
+	}
+	tone = Tone{Freq: 100, Amplitude: -2}.Normalize()
+	if tone.Amplitude != 0 {
+		t.Fatalf("Normalize negative amp = %v, want 0", tone.Amplitude)
+	}
+}
+
+func TestToneRMSMatchesSamples(t *testing.T) {
+	tone := Tone{Freq: 650, Amplitude: 0.8}
+	// Sample 10 whole periods densely.
+	n := 10000
+	rate := 650 * float64(n) / 10
+	got := RMSOf(tone.Samples(rate, n))
+	want := tone.RMS()
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("sampled RMS = %v, analytic = %v", got, want)
+	}
+}
+
+func TestToneDriveDB(t *testing.T) {
+	if got := float64(NewTone(650).DriveDB()); math.Abs(got) > 1e-12 {
+		t.Fatalf("full scale drive = %v dBFS, want 0", got)
+	}
+	half := Tone{Freq: 650, Amplitude: 0.5}
+	if got := float64(half.DriveDB()); math.Abs(got+6.0206) > 0.01 {
+		t.Fatalf("half drive = %v dBFS, want ≈ -6.02", got)
+	}
+}
+
+func TestSamplesEdgeCases(t *testing.T) {
+	tone := NewTone(100)
+	if got := tone.Samples(0, 10); got != nil {
+		t.Fatal("zero sample rate should return nil")
+	}
+	if got := tone.Samples(1000, 0); got != nil {
+		t.Fatal("zero count should return nil")
+	}
+	if got := RMSOf(nil); got != 0 {
+		t.Fatal("RMSOf(nil) should be 0")
+	}
+}
+
+func TestPaperSweepValid(t *testing.T) {
+	p := PaperSweep()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fs := p.CoarseFrequencies()
+	if fs[0] != 100*units.Hz {
+		t.Fatalf("sweep starts at %v, want 100Hz", fs[0])
+	}
+	if fs[len(fs)-1] != 16900*units.Hz {
+		t.Fatalf("sweep ends at %v, want 16.9kHz", fs[len(fs)-1])
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	bad := []SweepPlan{
+		{Start: 0, End: 100, CoarseStep: 10, FineStep: 5, DwellSec: 1},
+		{Start: 200, End: 100, CoarseStep: 10, FineStep: 5, DwellSec: 1},
+		{Start: 100, End: 200, CoarseStep: 0, FineStep: 5, DwellSec: 1},
+		{Start: 100, End: 200, CoarseStep: 10, FineStep: 50, DwellSec: 1},
+		{Start: 100, End: 200, CoarseStep: 10, FineStep: 5, DwellSec: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestCoarseFrequenciesCoverage(t *testing.T) {
+	p := SweepPlan{Start: 100, End: 1000, CoarseStep: 250, FineStep: 50, DwellSec: 1}
+	fs := p.CoarseFrequencies()
+	want := []units.Frequency{100, 350, 600, 850, 1000}
+	if len(fs) != len(want) {
+		t.Fatalf("got %v, want %v", fs, want)
+	}
+	for i := range want {
+		if math.Abs(float64(fs[i]-want[i])) > 1e-6 {
+			t.Fatalf("got %v, want %v", fs, want)
+		}
+	}
+}
+
+func TestRefineAround(t *testing.T) {
+	p := PaperSweep()
+	fs := p.RefineAround(650 * units.Hz)
+	if fs[0] != 450*units.Hz {
+		t.Fatalf("refine low edge = %v, want 450Hz", fs[0])
+	}
+	if fs[len(fs)-1] != 850*units.Hz {
+		t.Fatalf("refine high edge = %v, want 850Hz", fs[len(fs)-1])
+	}
+	// 50 Hz spacing.
+	for i := 1; i < len(fs); i++ {
+		if step := fs[i] - fs[i-1]; math.Abs(float64(step-50)) > 1e-6 {
+			t.Fatalf("refine step = %v, want 50Hz", step)
+		}
+	}
+}
+
+func TestRefineAroundClipsToBounds(t *testing.T) {
+	p := PaperSweep()
+	fs := p.RefineAround(150 * units.Hz)
+	if fs[0] < p.Start {
+		t.Fatalf("refinement escaped below sweep start: %v", fs[0])
+	}
+	fs = p.RefineAround(16850 * units.Hz)
+	if fs[len(fs)-1] > p.End {
+		t.Fatalf("refinement escaped above sweep end: %v", fs[len(fs)-1])
+	}
+}
+
+func TestRefineAroundAllDedups(t *testing.T) {
+	p := PaperSweep()
+	fs := p.RefineAroundAll([]units.Frequency{600, 650})
+	seen := map[units.Frequency]bool{}
+	for _, f := range fs {
+		if seen[f] {
+			t.Fatalf("duplicate frequency %v", f)
+		}
+		seen[f] = true
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] <= fs[i-1] {
+			t.Fatal("frequencies not sorted")
+		}
+	}
+}
+
+func TestBandOps(t *testing.T) {
+	b := Band{Low: 300, High: 1300}
+	if !b.Contains(650) || b.Contains(1400) || !b.Contains(300) {
+		t.Fatal("Contains misbehaves")
+	}
+	if b.Width() != 1000 {
+		t.Fatalf("Width = %v, want 1000", b.Width())
+	}
+	if !b.Overlaps(Band{Low: 1200, High: 1700}) {
+		t.Fatal("bands should overlap")
+	}
+	if b.Overlaps(Band{Low: 1400, High: 1700}) {
+		t.Fatal("bands should not overlap")
+	}
+}
+
+func TestCoalesceBands(t *testing.T) {
+	freqs := []units.Frequency{300, 350, 400, 1200, 1250, 5000}
+	bands := CoalesceBands(freqs, 100)
+	if len(bands) != 3 {
+		t.Fatalf("got %d bands %v, want 3", len(bands), bands)
+	}
+	if bands[0].Low != 300 || bands[0].High != 400 {
+		t.Fatalf("band 0 = %v", bands[0])
+	}
+	if bands[1].Low != 1200 || bands[1].High != 1250 {
+		t.Fatalf("band 1 = %v", bands[1])
+	}
+	if bands[2].Low != 5000 || bands[2].High != 5000 {
+		t.Fatalf("band 2 = %v", bands[2])
+	}
+}
+
+func TestCoalesceBandsUnsortedInput(t *testing.T) {
+	freqs := []units.Frequency{400, 300, 350}
+	bands := CoalesceBands(freqs, 100)
+	if len(bands) != 1 || bands[0].Low != 300 || bands[0].High != 400 {
+		t.Fatalf("got %v, want single [300,400]", bands)
+	}
+	if CoalesceBands(nil, 100) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestCoalesceBandsProperty(t *testing.T) {
+	// Every input frequency must be contained in exactly one output band.
+	prop := func(raw []uint16) bool {
+		freqs := make([]units.Frequency, 0, len(raw))
+		for _, r := range raw {
+			freqs = append(freqs, units.Frequency(r))
+		}
+		bands := CoalesceBands(freqs, 50)
+		for _, f := range freqs {
+			n := 0
+			for _, b := range bands {
+				if b.Contains(f) {
+					n++
+				}
+			}
+			if n == 0 {
+				return false
+			}
+		}
+		// Bands must be disjoint and ordered.
+		for i := 1; i < len(bands); i++ {
+			if bands[i].Low <= bands[i-1].High {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	a := NewVirtual()
+	b := NewVirtual()
+	if !a.Now().Equal(b.Now()) {
+		t.Fatal("two fresh clocks must agree")
+	}
+}
+
+func TestSleepAdvances(t *testing.T) {
+	c := NewVirtual()
+	t0 := c.Now()
+	c.Sleep(81 * time.Second)
+	if got := c.Since(t0); got != 81*time.Second {
+		t.Fatalf("Since = %v, want 81s", got)
+	}
+	if c.Sleeps() != 1 {
+		t.Fatalf("Sleeps = %d, want 1", c.Sleeps())
+	}
+}
+
+func TestSleepIgnoresNonPositive(t *testing.T) {
+	c := NewVirtual()
+	t0 := c.Now()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if !c.Now().Equal(t0) {
+		t.Fatal("non-positive sleep must not move time")
+	}
+	if c.Sleeps() != 0 {
+		t.Fatal("non-positive sleeps must not count")
+	}
+}
+
+func TestAdvanceAliasesSleep(t *testing.T) {
+	c := NewVirtual()
+	c.Advance(time.Millisecond)
+	if c.Since(NewVirtual().Now()) != time.Millisecond {
+		t.Fatal("Advance did not move time")
+	}
+}
+
+func TestConcurrentSleeps(t *testing.T) {
+	c := NewVirtual()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := c.Since(NewVirtual().Now()); got != 100*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 100ms", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewVirtual()
+	sw := NewStopwatch(c)
+	c.Sleep(2500 * time.Millisecond)
+	if got := sw.Elapsed(); got != 2500*time.Millisecond {
+		t.Fatalf("Elapsed = %v", got)
+	}
+	if got := sw.Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v, want 2.5", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("after Restart Elapsed = %v, want 0", got)
+	}
+}
+
+func TestStringMentionsOffset(t *testing.T) {
+	c := NewVirtual()
+	c.Sleep(time.Second)
+	if s := c.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

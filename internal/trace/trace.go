@@ -1,0 +1,120 @@
+// Package trace records time series against the virtual clock: bucketed
+// throughput meters and named samples. Experiments use it to produce
+// attack timelines — the paper's §3 first attacker objective is a
+// *controlled* throughput loss for a chosen duration, which is inherently
+// a statement about a time series.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+// Point is one sample: elapsed virtual time since the recorder started,
+// and a value.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Recorder stores named sample series against a virtual clock.
+type Recorder struct {
+	clock  simclock.Clock
+	origin time.Time
+	series map[string][]Point
+}
+
+// NewRecorder starts recording at the clock's current instant.
+func NewRecorder(clock simclock.Clock) *Recorder {
+	return &Recorder{clock: clock, origin: clock.Now(), series: make(map[string][]Point)}
+}
+
+// Record appends a sample to a named series at the current virtual time.
+func (r *Recorder) Record(name string, v float64) {
+	r.series[name] = append(r.series[name], Point{T: r.clock.Now().Sub(r.origin), V: v})
+}
+
+// Series returns a copy of a named series.
+func (r *Recorder) Series(name string) []Point {
+	return append([]Point(nil), r.series[name]...)
+}
+
+// Names returns the recorded series names, sorted.
+func (r *Recorder) Names() []string {
+	out := make([]string, 0, len(r.series))
+	for n := range r.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Meter aggregates byte counts into fixed-width throughput buckets (MB/s
+// per bucket of virtual time).
+type Meter struct {
+	clock  simclock.Clock
+	origin time.Time
+	width  time.Duration
+	counts map[int]int64
+}
+
+// NewMeter starts a meter with the given bucket width.
+func NewMeter(clock simclock.Clock, bucket time.Duration) *Meter {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Meter{clock: clock, origin: clock.Now(), width: bucket, counts: make(map[int]int64)}
+}
+
+// Add charges n bytes to the bucket covering the current virtual instant.
+func (m *Meter) Add(n int64) {
+	idx := int(m.clock.Now().Sub(m.origin) / m.width)
+	m.counts[idx] += n
+}
+
+// BucketWidth returns the configured width.
+func (m *Meter) BucketWidth() time.Duration { return m.width }
+
+// Buckets returns throughput points (bucket midpoint, MB/s) for every
+// bucket from zero through the last bucket touched, including empty ones —
+// an outage must show up as zeros, not be elided.
+func (m *Meter) Buckets() []Point {
+	last := -1
+	for idx := range m.counts {
+		if idx > last {
+			last = idx
+		}
+	}
+	// Extend through "now" so trailing silence is visible too.
+	if nowIdx := int(m.clock.Now().Sub(m.origin) / m.width); nowIdx-1 > last {
+		last = nowIdx - 1
+	}
+	out := make([]Point, 0, last+1)
+	secs := m.width.Seconds()
+	for i := 0; i <= last; i++ {
+		out = append(out, Point{
+			T: time.Duration(i)*m.width + m.width/2,
+			V: float64(m.counts[i]) / 1e6 / secs,
+		})
+	}
+	return out
+}
+
+// MeanMBps returns the mean throughput over [from, to) bucket times.
+func (m *Meter) MeanMBps(from, to time.Duration) float64 {
+	pts := m.Buckets()
+	var sum float64
+	n := 0
+	for _, p := range pts {
+		if p.T >= from && p.T < to {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+func TestRecorder(t *testing.T) {
+	clock := simclock.NewVirtual()
+	r := NewRecorder(clock)
+	r.Record("mbps", 18.0)
+	clock.Advance(time.Second)
+	r.Record("mbps", 0)
+	r.Record("latency", 4.2)
+	pts := r.Series("mbps")
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].T != 0 || pts[1].T != time.Second {
+		t.Fatalf("timestamps %v", pts)
+	}
+	if pts[1].V != 0 {
+		t.Fatalf("value %v", pts[1].V)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "latency" || names[1] != "mbps" {
+		t.Fatalf("names %v", names)
+	}
+	if got := r.Series("missing"); got != nil {
+		t.Fatal("missing series should be nil")
+	}
+}
+
+func TestMeterBuckets(t *testing.T) {
+	clock := simclock.NewVirtual()
+	m := NewMeter(clock, time.Second)
+	m.Add(2e6) // bucket 0
+	clock.Advance(1500 * time.Millisecond)
+	m.Add(1e6)                     // bucket 1
+	clock.Advance(2 * time.Second) // buckets 2,3 silent
+	m.Add(4e6)                     // bucket 3
+	pts := m.Buckets()
+	if len(pts) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(pts))
+	}
+	if pts[0].V != 2.0 || pts[1].V != 1.0 || pts[2].V != 0 || pts[3].V != 4.0 {
+		t.Fatalf("values %v", pts)
+	}
+}
+
+func TestMeterEmptyBucketsVisible(t *testing.T) {
+	clock := simclock.NewVirtual()
+	m := NewMeter(clock, time.Second)
+	m.Add(1e6)
+	clock.Advance(5 * time.Second)
+	pts := m.Buckets()
+	// Trailing silence through "now" must appear as zero buckets.
+	if len(pts) != 5 {
+		t.Fatalf("buckets = %d, want 5 (1 active + 4 silent)", len(pts))
+	}
+	for _, p := range pts[1:] {
+		if p.V != 0 {
+			t.Fatalf("silent bucket nonzero: %v", p)
+		}
+	}
+}
+
+func TestMeterMean(t *testing.T) {
+	clock := simclock.NewVirtual()
+	m := NewMeter(clock, time.Second)
+	m.Add(2e6)
+	clock.Advance(time.Second)
+	m.Add(4e6)
+	clock.Advance(time.Second)
+	if got := m.MeanMBps(0, 2*time.Second); got != 3.0 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	if got := m.MeanMBps(10*time.Second, 20*time.Second); got != 0 {
+		t.Fatalf("empty-window mean = %v", got)
+	}
+}
+
+func TestMeterDefaultBucket(t *testing.T) {
+	m := NewMeter(simclock.NewVirtual(), 0)
+	if m.BucketWidth() != time.Second {
+		t.Fatal("default bucket should be 1s")
+	}
+}

@@ -1,0 +1,112 @@
+package deepnote
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepnote/internal/core"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// Cross-package invariants: properties that must hold across the whole
+// simulation regardless of parameters, asserted at the public-API level.
+
+// TestInvariantMoreDistanceNeverMoreDamage: moving the speaker away can
+// never increase the drive's off-track excitation, for any frequency and
+// any scenario.
+func TestInvariantMoreDistanceNeverMoreDamage(t *testing.T) {
+	prop := func(fRaw uint16, dRaw1, dRaw2 uint8, sRaw uint8) bool {
+		f := units.Frequency(100 + int(fRaw)%16800)
+		d1 := units.Distance(1+int(dRaw1)%100) * units.Centimeter
+		d2 := units.Distance(1+int(dRaw2)%100) * units.Centimeter
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		s := []Scenario{Scenario1, Scenario2, Scenario3}[int(sRaw)%3]
+		near, err := core.NewTestbed(s, d1)
+		if err != nil {
+			return false
+		}
+		far, err := core.NewTestbed(s, d2)
+		if err != nil {
+			return false
+		}
+		tone := sig.NewTone(f)
+		return near.VibrationFor(tone).Amplitude >= far.VibrationFor(tone).Amplitude
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantQuieterToneNeverMoreDamage: reducing drive amplitude can
+// never increase excitation.
+func TestInvariantQuieterToneNeverMoreDamage(t *testing.T) {
+	tb, err := NewTestbed(Scenario2, 1*Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(fRaw uint16, a1, a2 uint8) bool {
+		f := units.Frequency(100 + int(fRaw)%16800)
+		lo := float64(a1%101) / 100
+		hi := float64(a2%101) / 100
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		vLo := tb.VibrationFor(sig.Tone{Freq: f, Amplitude: lo})
+		vHi := tb.VibrationFor(sig.Tone{Freq: f, Amplitude: hi})
+		return vHi.Amplitude >= vLo.Amplitude
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantAluminumNeverWorseAboveBand: at every frequency above the
+// aluminum band top, the aluminum container transmits no more than the
+// plastic one (relative to their mid-band levels) — the §4.1 material
+// finding as a sweep-wide property.
+func TestInvariantAluminumShieldsHighBand(t *testing.T) {
+	p, err := NewTestbed(Scenario2, 1*Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewTestbed(Scenario3, 1*Centimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMid := p.OffTrackRatio(650)
+	aMid := a.OffTrackRatio(650)
+	for f := units.Frequency(1400); f <= 8000; f += 200 {
+		rp := p.OffTrackRatio(f) / pMid
+		ra := a.OffTrackRatio(f) / aMid
+		if ra > rp*1.05 {
+			t.Fatalf("at %v aluminum relative response %.4f exceeds plastic %.4f", f, ra, rp)
+		}
+	}
+}
+
+// TestInvariantRecoveryIsComplete: any attack that ends returns the drive
+// to full health — the mechanism is purely dynamic, with no hysteresis.
+func TestInvariantRecoveryIsComplete(t *testing.T) {
+	for _, f := range []units.Frequency{300, 650, 1300, 5000} {
+		rig, err := NewRig(Scenario2, 1*Centimeter, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.ApplyTone(Tone(f))
+		if _, err := RunFIO(rig, SeqWrite, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rig.Silence()
+		res, err := RunFIO(rig, SeqWrite, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ThroughputMBps() < 22 {
+			t.Fatalf("after %v attack: %.1f MB/s, want full recovery", f, res.ThroughputMBps())
+		}
+	}
+}
