@@ -173,6 +173,55 @@ func BenchmarkSweepProcedure(b *testing.B) {
 	}
 }
 
+// --- parallel engine: serial vs fanned-out grids ------------------------
+//
+// The sweep and fleet grids are embarrassingly parallel; these benches pin
+// the wall-clock cost of the same experiment at 1 worker, 4 workers, and
+// one worker per CPU. Results are bit-identical across the variants (see
+// the determinism tests); only the time/op should move.
+
+func benchmarkSweepWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := attack.Sweeper{Scenario: Scenario3, Workers: workers}.Run(SeqWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Bands) == 0 {
+			b.Fatal("sweep found nothing")
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the §4.1 full two-phase sweep on one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel4 is the same sweep fanned over 4 workers.
+func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepWorkers(b, 4) }
+
+// BenchmarkSweepParallelMaxCPU is the same sweep at one worker per CPU.
+func BenchmarkSweepParallelMaxCPU(b *testing.B) { benchmarkSweepWorkers(b, 0) }
+
+func benchmarkFleetWorkers(b *testing.B, workers int) {
+	spec := experiment.FleetSpec{
+		Containers: 256, DrivesPerContainer: 24, Speakers: 64, Workers: workers,
+	}
+	var res experiment.FleetResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.FleetAvailability(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Availability*100, "availability_pct")
+}
+
+// BenchmarkFleetSerial evaluates a 256-container facility on one worker.
+func BenchmarkFleetSerial(b *testing.B) { benchmarkFleetWorkers(b, 1) }
+
+// BenchmarkFleetParallelMaxCPU is the same facility at one worker per CPU.
+func BenchmarkFleetParallelMaxCPU(b *testing.B) { benchmarkFleetWorkers(b, 0) }
+
 // --- micro-benchmarks on the substrates ---------------------------------
 
 // BenchmarkDriveSequentialWrite measures the simulated drive's op cost in

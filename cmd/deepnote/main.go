@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	deepnote figure2 [-pattern write|read] [-step HZ] [-csv]
+//	deepnote figure2 [-pattern write|read] [-step HZ] [-workers N] [-csv]
 //	deepnote table1 [-csv]
 //	deepnote table2 [-runtime SECONDS] [-csv]
 //	deepnote table3
-//	deepnote sweep  [-scenario 1|2|3] [-pattern write|read]
+//	deepnote sweep  [-scenario 1|2|3] [-pattern write|read] [-workers N]
+//	deepnote fleet  [-containers N] [-drives N] [-spacing M] [-workers N]
 //	deepnote range  [-scenario 1|2|3] [-freq HZ]
 //	deepnote crash  [-target ext4|ubuntu|rocksdb]
 //	deepnote defense [-scenario 1|2|3] [-distance CM]
+//	deepnote stealthgrid [-duration SECONDS] [-workers N]
 //	deepnote all
+//
+// Grid-shaped commands (figure2, sweep, fleet, ablation, stealthgrid) fan
+// their independent simulation cells over a worker pool; -workers N bounds
+// the parallelism (0, the default, means one worker per CPU). Results are
+// bit-identical for any worker count.
 package main
 
 import (
@@ -68,6 +75,8 @@ func main() {
 		err = cmdRemoteSweep(args)
 	case "stealth":
 		err = cmdStealth(args)
+	case "stealthgrid":
+		err = cmdStealthGrid(args)
 	case "ablation":
 		err = cmdAblation(args)
 	case "redundancy":
@@ -113,6 +122,7 @@ commands:
   outage    controlled-outage timeline (attack on, attack off)
   remotesweep  latency-only reconnaissance against a storage service
   stealth   duty-cycled attack vs the victim's anomaly detector
+  stealthgrid  duty-cycle (on x off) grid: the damage/stealth trade-off matrix
   ablation  headline metrics with model mechanisms removed
   redundancy  RAID placement under attack (co-located vs split)
   ultrasonic  shock-sensor vector reachability through the enclosure
@@ -150,6 +160,7 @@ func cmdFigure2(args []string) error {
 	fs := flag.NewFlagSet("figure2", flag.ExitOnError)
 	pattern := fs.String("pattern", "write", "write or read")
 	stepHz := fs.Float64("step", 200, "frequency step in Hz")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII chart")
 	fs.Parse(args)
 	p, err := parsePattern(*pattern)
@@ -158,6 +169,7 @@ func cmdFigure2(args []string) error {
 	}
 	res, err := experiment.Figure2(p, experiment.Figure2Options{
 		Step: units.Frequency(*stepHz), JobRuntime: 300 * time.Millisecond,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -219,6 +231,7 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	scenario := fs.Int("scenario", 2, "testbed scenario (1-3)")
 	pattern := fs.String("pattern", "write", "write or read")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	fs.Parse(args)
 	s, err := parseScenario(*scenario)
 	if err != nil {
@@ -228,7 +241,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := attack.Sweeper{Scenario: s}.Run(p)
+	res, err := attack.Sweeper{Scenario: s, Workers: *workers}.Run(p)
 	if err != nil {
 		return err
 	}
@@ -444,10 +457,27 @@ func cmdStealth(args []string) error {
 	return nil
 }
 
+func cmdStealthGrid(args []string) error {
+	fs := flag.NewFlagSet("stealthgrid", flag.ExitOnError)
+	duration := fs.Float64("duration", 60, "campaign length per cell in virtual seconds")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	fs.Parse(args)
+	rows, err := campaign.Grid{
+		Base:    campaign.Stealth{Duration: time.Duration(*duration * float64(time.Second))},
+		Workers: *workers,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(campaign.GridReport(rows).String())
+	return nil
+}
+
 func cmdAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	fs.Parse(args)
-	rows, err := experiment.Ablation(1)
+	rows, err := experiment.AblationWorkers(1, *workers)
 	if err != nil {
 		return err
 	}
@@ -490,11 +520,13 @@ func cmdFleet(args []string) error {
 	containers := fs.Int("containers", 4, "container count")
 	drives := fs.Int("drives", 5, "drives per container")
 	spacing := fs.Float64("spacing", 2, "container spacing in meters")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	fs.Parse(args)
 	rows, err := experiment.FleetSweep(experiment.FleetSpec{
 		Containers:         *containers,
 		DrivesPerContainer: *drives,
 		ContainerSpacing:   units.Distance(*spacing) * units.Meter,
+		Workers:            *workers,
 	})
 	if err != nil {
 		return err

@@ -7,11 +7,13 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"deepnote/internal/core"
 	"deepnote/internal/fio"
+	"deepnote/internal/parallel"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
 )
@@ -64,6 +66,11 @@ type Sweeper struct {
 	JobRuntime time.Duration
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds how many sweep points are measured concurrently;
+	// ≤ 0 means one worker per CPU. Every point runs on its own rig with
+	// the same seed as the serial path, so results are identical for any
+	// worker count.
+	Workers int
 }
 
 func (s Sweeper) withDefaults() Sweeper {
@@ -104,7 +111,9 @@ func (s Sweeper) measure(pattern fio.Pattern, tone sig.Tone) (float64, error) {
 }
 
 // Run performs the two-phase sweep of §4.1: a coarse pass over the plan,
-// then 50 Hz refinement around every vulnerable coarse frequency.
+// then 50 Hz refinement around every vulnerable coarse frequency. Both
+// passes fan their points out over the Workers pool; each point gets a
+// fresh rig, so results match a serial run point for point.
 func (s Sweeper) Run(pattern fio.Pattern) (SweepResult, error) {
 	s = s.withDefaults()
 	if err := s.Plan.Validate(); err != nil {
@@ -119,43 +128,51 @@ func (s Sweeper) Run(pattern fio.Pattern) (SweepResult, error) {
 	}
 
 	res := SweepResult{Scenario: s.Scenario, Pattern: pattern}
-	var coarseVulnerable []units.Frequency
-	record := func(f units.Frequency) (SweepPoint, error) {
-		mbps, err := s.measure(pattern, sig.NewTone(f))
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		p := SweepPoint{Freq: f, ThroughputMBps: mbps, Baseline: baseline}
-		res.Points = append(res.Points, p)
-		return p, nil
+	measurePass := func(freqs []units.Frequency) ([]SweepPoint, error) {
+		return parallel.Run(context.Background(), freqs, s.Workers,
+			func(_ context.Context, _ int, f units.Frequency) (SweepPoint, error) {
+				mbps, err := s.measure(pattern, sig.NewTone(f))
+				if err != nil {
+					return SweepPoint{}, err
+				}
+				return SweepPoint{Freq: f, ThroughputMBps: mbps, Baseline: baseline}, nil
+			})
 	}
 
-	for _, f := range s.Plan.CoarseFrequencies() {
-		p, err := record(f)
-		if err != nil {
-			return SweepResult{}, err
-		}
+	coarsePoints, err := measurePass(s.Plan.CoarseFrequencies())
+	if err != nil {
+		return SweepResult{}, err
+	}
+	var coarseVulnerable []units.Frequency
+	for _, p := range coarsePoints {
+		res.Points = append(res.Points, p)
 		if p.Degradation() >= s.DegradationThreshold {
-			coarseVulnerable = append(coarseVulnerable, f)
-			res.Vulnerable = append(res.Vulnerable, f)
+			coarseVulnerable = append(coarseVulnerable, p.Freq)
+			res.Vulnerable = append(res.Vulnerable, p.Freq)
 		}
 	}
-	// Refinement pass.
-	seen := make(map[units.Frequency]bool)
+
+	// Refinement pass: skip frequencies the coarse pass already measured
+	// (keyed on the quantized grid, so ULP twins don't sneak back in).
+	seen := make(map[int64]bool)
 	for _, p := range res.Points {
-		seen[p.Freq] = true
+		seen[sig.FrequencyKey(p.Freq)] = true
 	}
+	var fine []units.Frequency
 	for _, f := range s.Plan.RefineAroundAll(coarseVulnerable) {
-		if seen[f] {
-			continue
+		if k := sig.FrequencyKey(f); !seen[k] {
+			seen[k] = true
+			fine = append(fine, f)
 		}
-		seen[f] = true
-		p, err := record(f)
-		if err != nil {
-			return SweepResult{}, err
-		}
+	}
+	finePoints, err := measurePass(fine)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	for _, p := range finePoints {
+		res.Points = append(res.Points, p)
 		if p.Degradation() >= s.DegradationThreshold {
-			res.Vulnerable = append(res.Vulnerable, f)
+			res.Vulnerable = append(res.Vulnerable, p.Freq)
 		}
 	}
 	res.Bands = sig.CoalesceBands(res.Vulnerable, s.Plan.CoarseStep+s.Plan.FineStep)

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"deepnote/internal/core"
 	"deepnote/internal/fio"
+	"deepnote/internal/parallel"
 	"deepnote/internal/report"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -105,18 +107,19 @@ func runAblationVariant(v ablationVariant, seed int64) (AblationRow, error) {
 	return row, nil
 }
 
-// Ablation runs the full variant suite.
+// Ablation runs the full variant suite, one worker per CPU. Each variant
+// mutates its own testbeds, so the rows match a serial run exactly.
 func Ablation(seed int64) ([]AblationRow, error) {
-	variants := ablationVariants()
-	rows := make([]AblationRow, 0, len(variants))
-	for _, v := range variants {
-		row, err := runAblationVariant(v, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return AblationWorkers(seed, 0)
+}
+
+// AblationWorkers is Ablation with an explicit worker bound (≤ 0 means one
+// per CPU).
+func AblationWorkers(seed int64, workers int) ([]AblationRow, error) {
+	return parallel.Run(context.Background(), ablationVariants(), workers,
+		func(_ context.Context, _ int, v ablationVariant) (AblationRow, error) {
+			return runAblationVariant(v, seed)
+		})
 }
 
 // AblationReport renders the suite.

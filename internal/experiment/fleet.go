@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"deepnote/internal/core"
+	"deepnote/internal/parallel"
 	"deepnote/internal/report"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -27,6 +29,10 @@ type FleetSpec struct {
 	// container over (default 2 m).
 	ContainerSpacing units.Distance
 	Seed             int64
+	// Workers bounds how many containers are evaluated concurrently;
+	// ≤ 0 means one worker per CPU. Results are identical for any worker
+	// count.
+	Workers int
 }
 
 func (s FleetSpec) withDefaults() FleetSpec {
@@ -38,6 +44,13 @@ func (s FleetSpec) withDefaults() FleetSpec {
 	}
 	if s.Speakers < 0 {
 		s.Speakers = 0
+	}
+	// One speaker per container is the model's geometry: extra speakers
+	// have no container left to target, so an over-provisioned attacker
+	// behaves exactly like one with a speaker per container. Without the
+	// clamp the c < Speakers branch would mislabel spill-over distances.
+	if s.Speakers > s.Containers {
+		s.Speakers = s.Containers
 	}
 	if s.Freq == 0 {
 		s.Freq = 650 * units.Hz
@@ -63,40 +76,51 @@ type FleetResult struct {
 
 // FleetAvailability computes, analytically from the off-track model, how
 // many drives fault when k containers are targeted point-blank and the
-// rest receive only the spill-over from the nearest speaker.
+// rest receive only the spill-over from the nearest speaker. Containers
+// are evaluated concurrently over the spec's Workers pool; each builds its
+// own testbed.
 func FleetAvailability(spec FleetSpec) (FleetResult, error) {
 	spec = spec.withDefaults()
 	res := FleetResult{Spec: spec, DrivesTotal: spec.Containers * spec.DrivesPerContainer}
 	tone := sig.NewTone(spec.Freq)
-	for c := 0; c < spec.Containers; c++ {
-		// Distance to the nearest speaker: point blank for targeted
-		// containers, spacing-scaled for the rest.
-		var d units.Distance
-		if c < spec.Speakers {
-			d = 1 * units.Centimeter
-		} else if spec.Speakers == 0 {
-			// No attack at all.
-			continue
-		} else {
-			hops := c - spec.Speakers + 1
-			d = spec.ContainerSpacing * units.Distance(hops)
-		}
-		tb, err := core.NewTestbed(core.Scenario2, d)
-		if err != nil {
-			return res, err
-		}
-		for slot := 0; slot < spec.DrivesPerContainer; slot++ {
-			asm := tb.Assembly
-			if asm.Mount.Tower != nil {
-				mount := *asm.Mount.Tower
-				asm.Mount.Slot = slot % mount.Slots
+	counts, err := parallel.Run(context.Background(), parallel.Indices(spec.Containers), spec.Workers,
+		func(_ context.Context, _ int, c int) (int, error) {
+			// Distance to the nearest speaker: point blank for targeted
+			// containers, spacing-scaled for the rest.
+			var d units.Distance
+			if c < spec.Speakers {
+				d = 1 * units.Centimeter
+			} else if spec.Speakers == 0 {
+				// No attack at all.
+				return 0, nil
+			} else {
+				hops := c - spec.Speakers + 1
+				d = spec.ContainerSpacing * units.Distance(hops)
 			}
-			probe := *tb
-			probe.Assembly = asm
-			if probe.VibrationFor(tone).Amplitude >= probe.DriveModel.WriteFaultFrac {
-				res.DrivesFaulting++
+			tb, err := core.NewTestbed(core.Scenario2, d)
+			if err != nil {
+				return 0, err
 			}
-		}
+			faulting := 0
+			for slot := 0; slot < spec.DrivesPerContainer; slot++ {
+				asm := tb.Assembly
+				if asm.Mount.Tower != nil {
+					mount := *asm.Mount.Tower
+					asm.Mount.Slot = slot % mount.Slots
+				}
+				probe := *tb
+				probe.Assembly = asm
+				if probe.VibrationFor(tone).Amplitude >= probe.DriveModel.WriteFaultFrac {
+					faulting++
+				}
+			}
+			return faulting, nil
+		})
+	if err != nil {
+		return res, err
+	}
+	for _, n := range counts {
+		res.DrivesFaulting += n
 	}
 	res.Availability = 1 - float64(res.DrivesFaulting)/float64(res.DrivesTotal)
 	return res, nil

@@ -54,6 +54,33 @@ func TestFleetSweepMonotone(t *testing.T) {
 	}
 }
 
+func TestFleetOverProvisionedSpeakersClampToContainers(t *testing.T) {
+	// Regression: Speakers > Containers used to leave the extra speakers
+	// in the spec, so downstream consumers (and the c < Speakers distance
+	// branch under any future geometry change) miscounted. An attacker
+	// with more speakers than containers is exactly a speaker-per-container
+	// attacker.
+	base := FleetSpec{Containers: 4, DrivesPerContainer: 5}
+	exact := base
+	exact.Speakers = base.Containers
+	over := base
+	over.Speakers = base.Containers + 3
+	want, err := FleetAvailability(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FleetAvailability(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Speakers != base.Containers {
+		t.Fatalf("spec speakers = %d, want clamped to %d", got.Spec.Speakers, base.Containers)
+	}
+	if got.DrivesFaulting != want.DrivesFaulting || got.Availability != want.Availability {
+		t.Fatalf("over-provisioned attacker %+v != exact attacker %+v", got, want)
+	}
+}
+
 func TestFleetTightSpacingLeaksAcrossContainers(t *testing.T) {
 	// If containers sit very close together, one speaker's spill-over
 	// reaches the neighbour too.

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"deepnote/internal/acoustics"
 	"deepnote/internal/core"
+	"deepnote/internal/parallel"
 	"deepnote/internal/report"
 	"deepnote/internal/units"
 	"deepnote/internal/water"
@@ -55,19 +57,29 @@ func Section5Ranges(f units.Frequency) ([]RangeScenario, error) {
 		{"sea, 36 m depth (Natick)", water.Seawater(36)},
 		{"Baltic, 50 m", water.BalticAt50m()},
 	}
-	var out []RangeScenario
+	type cell struct {
+		tier  acoustics.SourceClass
+		name  string
+		water water.Medium
+	}
+	var cells []cell
 	for _, tier := range acoustics.AttackerTiers() {
 		for _, w := range waters {
-			rs := RangeScenario{
-				Tier: tier, Water: w.name, Medium: w.m, Freq: f, RequiredSPL: required,
-			}
-			d, reachable := acoustics.MaxAttackRange(tier.Level, tier.RefDist, required, f, w.m, SearchCap)
-			rs.MaxRange = d
-			rs.Unreachable = !reachable
-			out = append(out, rs)
+			cells = append(cells, cell{tier: tier, name: w.name, water: w.m})
 		}
 	}
-	return out, nil
+	// The (tier × water) grid is embarrassingly parallel: each cell is a
+	// pure range search against the shared read-only testbed.
+	return parallel.Run(context.Background(), cells, 0,
+		func(_ context.Context, _ int, c cell) (RangeScenario, error) {
+			rs := RangeScenario{
+				Tier: c.tier, Water: c.name, Medium: c.water, Freq: f, RequiredSPL: required,
+			}
+			d, reachable := acoustics.MaxAttackRange(c.tier.Level, c.tier.RefDist, required, f, c.water, SearchCap)
+			rs.MaxRange = d
+			rs.Unreachable = !reachable
+			return rs, nil
+		})
 }
 
 // Section5Report renders the range matrix.

@@ -174,7 +174,10 @@ func TestStepBeforeBootAndAfterCrashIsSafe(t *testing.T) {
 
 func TestDmesgRingEviction(t *testing.T) {
 	d := NewDmesg(3)
-	base := time.Now()
+	// Drive the ring off the virtual clock, not time.Now(): wall-clock
+	// reads make the test's timestamps scheduling-dependent under a
+	// parallel `go test`, and this package must stay hermetic.
+	base := simclock.NewVirtual().Now()
 	for i := 0; i < 5; i++ {
 		d.Logf(base, "line %d", i)
 	}

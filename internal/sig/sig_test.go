@@ -144,6 +144,77 @@ func TestRefineAroundClipsToBounds(t *testing.T) {
 	}
 }
 
+func TestStepRangeExactGridPoints(t *testing.T) {
+	// Regression: the old accumulating loop (f += step) compounded float64
+	// error, so late points drifted off the nominal grid. Index-based
+	// generation must yield bit-exact lo + i*step everywhere.
+	p := SweepPlan{Start: 100, End: 16900, CoarseStep: 200, FineStep: 50, DwellSec: 5}
+	fs := p.CoarseFrequencies()
+	if len(fs) != 85 {
+		t.Fatalf("point count = %d, want 85", len(fs))
+	}
+	for i, f := range fs {
+		if want := p.Start + units.Frequency(i)*p.CoarseStep; f != want {
+			t.Fatalf("point %d = %v, want exactly %v", i, f, want)
+		}
+	}
+
+	// Fractional step: every point must still be exactly lo + i*step.
+	lo, step := units.Frequency(100), units.Frequency(0.055)
+	hi := lo + 1000*step
+	got := stepRange(lo, hi, step)
+	for i, f := range got {
+		if want := lo + units.Frequency(i)*step; f != want {
+			t.Fatalf("fractional point %d = %.17g, want exactly %.17g", i, float64(f), float64(want))
+		}
+	}
+}
+
+func TestStepRangeNoNearDuplicateTerminal(t *testing.T) {
+	// A 100 Hz start, 200 Hz step sweep whose end lies on the grid must
+	// end exactly at End — not at End plus an accumulated-error twin.
+	fs := stepRange(100, 1700, 200)
+	for i := 1; i < len(fs); i++ {
+		if gap := fs[i] - fs[i-1]; gap < 100 {
+			t.Fatalf("near-duplicate points %v and %v (gap %v)", fs[i-1], fs[i], gap)
+		}
+	}
+	if fs[len(fs)-1] != 1700 {
+		t.Fatalf("terminal point = %v, want 1700", fs[len(fs)-1])
+	}
+}
+
+func TestFrequencyKey(t *testing.T) {
+	a := units.Frequency(650.3)
+	b := (a - 7.3) + 7.3 // ULP-different representation of the same value
+	if FrequencyKey(a) != FrequencyKey(b) {
+		t.Fatalf("ULP twins got distinct keys: %d vs %d", FrequencyKey(a), FrequencyKey(b))
+	}
+	if FrequencyKey(650) == FrequencyKey(650.05) {
+		t.Fatal("50 mHz-distinct frequencies collided")
+	}
+}
+
+func TestRefineAroundAllNoNearDuplicatesAcrossCenters(t *testing.T) {
+	// Regression: two centers one CoarseStep apart produce overlapping
+	// fine passes whose grids are computed from different origins. With a
+	// fractional step the shared points differ by a ULP, and the old
+	// exact-equality dedup kept both copies.
+	p := SweepPlan{Start: 100, End: 2000, CoarseStep: 7.3, FineStep: 0.73, DwellSec: 1}
+	c1 := units.Frequency(650.3)
+	c2 := c1 + p.CoarseStep
+	fs := p.RefineAroundAll([]units.Frequency{c1, c2})
+	if len(fs) == 0 {
+		t.Fatal("no refinement points")
+	}
+	for i := 1; i < len(fs); i++ {
+		if gap := fs[i] - fs[i-1]; gap < p.FineStep/2 {
+			t.Fatalf("near-duplicate frequencies %.17g and %.17g (gap %v)",
+				float64(fs[i-1]), float64(fs[i]), gap)
+		}
+	}
+}
+
 func TestRefineAroundAllDedups(t *testing.T) {
 	p := PaperSweep()
 	fs := p.RefineAroundAll([]units.Frequency{600, 650})

@@ -2,6 +2,7 @@ package sig
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"deepnote/internal/units"
@@ -79,14 +80,18 @@ func (p SweepPlan) RefineAround(center units.Frequency) []units.Frequency {
 }
 
 // RefineAroundAll merges fine passes around several centers, deduplicated
-// and sorted ascending.
+// and sorted ascending. Deduplication keys on FrequencyKey rather than
+// exact float equality: fine passes around adjacent centers cover
+// overlapping ranges whose grid points are computed from different
+// origins, so the "same" nominal frequency can differ by a ULP between
+// passes.
 func (p SweepPlan) RefineAroundAll(centers []units.Frequency) []units.Frequency {
-	seen := make(map[units.Frequency]bool)
+	seen := make(map[int64]bool)
 	var out []units.Frequency
 	for _, c := range centers {
 		for _, f := range p.RefineAround(c) {
-			if !seen[f] {
-				seen[f] = true
+			if k := FrequencyKey(f); !seen[k] {
+				seen[k] = true
 				out = append(out, f)
 			}
 		}
@@ -95,12 +100,29 @@ func (p SweepPlan) RefineAroundAll(centers []units.Frequency) []units.Frequency 
 	return out
 }
 
+// FrequencyKey quantizes a frequency to a 1 mHz grid for use as a
+// deduplication key. Two frequencies that differ only by floating-point
+// rounding (well below any physically meaningful resolution) map to the
+// same key; genuinely distinct sweep points (≥ 1 Hz apart in practice)
+// never collide.
+func FrequencyKey(f units.Frequency) int64 {
+	return int64(math.Round(float64(f) * 1000))
+}
+
 func stepRange(lo, hi, step units.Frequency) []units.Frequency {
 	if step <= 0 || hi < lo {
 		return nil
 	}
+	// Generate by index (lo + i*step) rather than accumulating f += step:
+	// repeated addition compounds float64 rounding error across hundreds
+	// of points, drifting the grid and — near the inclusive-end guard —
+	// emitting a near-duplicate terminal point.
 	var out []units.Frequency
-	for f := lo; f <= hi+step/1e6; f += step {
+	for i := 0; ; i++ {
+		f := lo + units.Frequency(i)*step
+		if f > hi+step/1e6 {
+			break
+		}
 		out = append(out, f)
 	}
 	if len(out) == 0 || out[len(out)-1] < hi-step/1e6 {
