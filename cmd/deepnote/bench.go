@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepnote/internal/attack"
+	"deepnote/internal/core"
+	"deepnote/internal/experiment"
+	"deepnote/internal/fio"
+	"deepnote/internal/metrics"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+
+	goruntime "runtime"
+)
+
+// benchEntry is one timed experiment.
+type benchEntry struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchSnapshot is the JSON document `deepnote bench` writes. CI uploads
+// it as an artifact so host-time regressions are visible across PRs.
+type benchSnapshot struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Quick     bool         `json:"quick"`
+	Entries   []benchEntry `json:"entries"`
+	// MetricsOverheadFrac is (instrumented - bare) / bare host time for
+	// the sweep pair; the observability layer promises < 5%.
+	MetricsOverheadFrac float64 `json:"metrics_overhead_frac"`
+}
+
+// cmdBench times the key experiments in host seconds and writes the
+// snapshot as JSON, including an instrumented-vs-bare sweep pair that
+// quantifies the metrics layer's overhead.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_pr2.json", "output JSON path")
+	quick := fs.Bool("quick", false, "shrink workloads (CI mode)")
+	fs.Parse(args)
+
+	plan := sig.SweepPlan{Start: 100 * units.Hz, End: 2000 * units.Hz,
+		CoarseStep: 200 * units.Hz, FineStep: 50 * units.Hz, DwellSec: 1}
+	sweepRuntime := 500 * time.Millisecond
+	fig2Step := 400 * units.Frequency(units.Hz)
+	table2Runtime := 2 * time.Second
+	if *quick {
+		plan.End = 1000 * units.Hz
+		sweepRuntime = 200 * time.Millisecond
+		fig2Step = 1000 * units.Frequency(units.Hz)
+		table2Runtime = time.Second
+	}
+
+	snap := benchSnapshot{
+		Schema:    "deepnote-bench/v1",
+		GoVersion: goruntime.Version(),
+		NumCPU:    goruntime.NumCPU(),
+		Quick:     *quick,
+	}
+	timeIt := func(name string, run func() error) error {
+		start := time.Now()
+		if err := run(); err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		sec := time.Since(start).Seconds()
+		snap.Entries = append(snap.Entries, benchEntry{Name: name, Seconds: sec})
+		fmt.Printf("%-24s %8.3fs\n", name, sec)
+		return nil
+	}
+
+	sweep := func(reg *metrics.Registry) func() error {
+		return func() error {
+			_, err := attack.Sweeper{Scenario: core.Scenario2, Plan: plan,
+				JobRuntime: sweepRuntime, Metrics: reg}.Run(fio.SeqWrite)
+			return err
+		}
+	}
+	// Untimed warmup so the bare/instrumented pair compares steady-state
+	// runs, not first-run allocator and cache effects.
+	if err := sweep(nil)(); err != nil {
+		return fmt.Errorf("bench warmup: %w", err)
+	}
+	if err := timeIt("sweep_bare", sweep(nil)); err != nil {
+		return err
+	}
+	if err := timeIt("sweep_metrics", sweep(metrics.NewRegistry())); err != nil {
+		return err
+	}
+	if err := timeIt("figure2", func() error {
+		_, err := experiment.Figure2(fio.SeqWrite, experiment.Figure2Options{
+			Step: fig2Step, JobRuntime: 200 * time.Millisecond})
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("table2", func() error {
+		_, err := experiment.Table2(experiment.Table2Options{Runtime: table2Runtime})
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := timeIt("crash_ext4", func() error {
+		_, err := attack.ProlongedAttack{}.Run(attack.TargetExt4)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	bare, instr := snap.Entries[0].Seconds, snap.Entries[1].Seconds
+	if bare > 0 {
+		snap.MetricsOverheadFrac = (instr - bare) / bare
+	}
+	fmt.Printf("metrics overhead: %+.2f%%\n", snap.MetricsOverheadFrac*100)
+	if err := writeBenchJSON(*out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func writeBenchJSON(path string, snap benchSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,6 +19,14 @@
 // their independent simulation cells over a worker pool; -workers N bounds
 // the parallelism (0, the default, means one worker per CPU). Results are
 // bit-identical for any worker count.
+//
+// The experiment commands (figure2, table1-3, sweep, range, crash, outage)
+// also accept -metrics PATH and -manifest PATH: the run is instrumented
+// with per-layer counters (hdd, blockdev, fio, jfs, kvdb, osmodel, attack,
+// parallel, experiment), the snapshot/manifest is written as JSON, and a
+// per-layer summary table goes to stderr. Instrumentation never touches
+// the simulation clock or RNG, so stdout stays byte-identical with
+// metrics on or off.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"deepnote/internal/defense"
 	"deepnote/internal/experiment"
 	"deepnote/internal/fio"
+	"deepnote/internal/metrics"
 	"deepnote/internal/report"
 	"deepnote/internal/thermal"
 	"deepnote/internal/units"
@@ -89,6 +98,8 @@ func main() {
 		err = cmdAdaptive(args)
 	case "integrity":
 		err = cmdIntegrity(args)
+	case "bench":
+		err = cmdBench(args)
 	case "all":
 		err = cmdAll(args)
 	case "help", "-h", "--help":
@@ -129,7 +140,64 @@ commands:
   fleet     facility availability vs attacker speaker count
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
-  all       regenerate every paper artifact`)
+  bench     host-time benchmark snapshot of the key experiments (JSON)
+  all       regenerate every paper artifact
+
+observability (figure2, table1-3, sweep, range, crash, outage):
+  -metrics PATH   write a per-layer metrics snapshot JSON
+  -manifest PATH  write a run manifest JSON (spec, seed, git, metrics)`)
+}
+
+// obs carries the -metrics/-manifest observability flags shared by the
+// instrumented experiment commands.
+type obs struct {
+	metricsPath  *string
+	manifestPath *string
+	reg          *metrics.Registry
+}
+
+func addObsFlags(fs *flag.FlagSet) *obs {
+	o := &obs{}
+	o.metricsPath = fs.String("metrics", "", "write a per-layer metrics snapshot JSON to this path")
+	o.manifestPath = fs.String("manifest", "", "write a run manifest JSON to this path")
+	return o
+}
+
+// registry returns the registry to thread through the run — non-nil only
+// when an output path was requested, so unobserved runs skip all
+// instrumentation.
+func (o *obs) registry() *metrics.Registry {
+	if *o.metricsPath == "" && *o.manifestPath == "" {
+		return nil
+	}
+	if o.reg == nil {
+		o.reg = metrics.NewRegistry()
+	}
+	return o.reg
+}
+
+// finish writes the requested artifacts and prints the per-layer summary
+// to stderr. Stdout is untouched, so command output stays byte-identical
+// with metrics on or off.
+func (o *obs) finish(command string, args []string, seed int64, workers int) error {
+	reg := o.registry()
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if *o.metricsPath != "" {
+		if err := metrics.WriteSnapshot(*o.metricsPath, snap); err != nil {
+			return err
+		}
+	}
+	if *o.manifestPath != "" {
+		m := metrics.NewManifest(command, args, seed, workers, snap)
+		if err := metrics.WriteManifest(*o.manifestPath, m); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(os.Stderr, snap.LayerTable().String())
+	return nil
 }
 
 func parseScenario(n int) (core.Scenario, error) {
@@ -162,6 +230,7 @@ func cmdFigure2(args []string) error {
 	stepHz := fs.Float64("step", 200, "frequency step in Hz")
 	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	p, err := parsePattern(*pattern)
 	if err != nil {
@@ -169,7 +238,7 @@ func cmdFigure2(args []string) error {
 	}
 	res, err := experiment.Figure2(p, experiment.Figure2Options{
 		Step: units.Frequency(*stepHz), JobRuntime: 300 * time.Millisecond,
-		Workers: *workers,
+		Workers: *workers, Metrics: o.registry(),
 	})
 	if err != nil {
 		return err
@@ -177,7 +246,7 @@ func cmdFigure2(args []string) error {
 	chart := res.Chart()
 	if *csv {
 		fmt.Print(chart.CSV())
-		return nil
+		return o.finish("figure2", args, 1, *workers)
 	}
 	fmt.Print(chart.String())
 	for _, sc := range []core.Scenario{core.Scenario1, core.Scenario2, core.Scenario3} {
@@ -185,46 +254,50 @@ func cmdFigure2(args []string) error {
 			fmt.Printf("%v: ≥50%% loss band %v\n", sc, band)
 		}
 	}
-	return nil
+	return o.finish("figure2", args, 1, *workers)
 }
 
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV")
+	o := addObsFlags(fs)
 	fs.Parse(args)
-	res, err := experiment.Table1(1)
+	res, err := experiment.Table1Observed(1, o.registry())
 	if err != nil {
 		return err
 	}
 	printTable(res.Report(), *csv)
-	return nil
+	return o.finish("table1", args, 1, 1)
 }
 
 func cmdTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
-	runtime := fs.Float64("runtime", 5, "measurement window per distance (virtual seconds)")
+	window := fs.Float64("runtime", 5, "measurement window per distance (virtual seconds)")
 	csv := fs.Bool("csv", false, "emit CSV")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	res, err := experiment.Table2(experiment.Table2Options{
-		Runtime: time.Duration(*runtime * float64(time.Second)),
+		Runtime: time.Duration(*window * float64(time.Second)),
+		Metrics: o.registry(),
 	})
 	if err != nil {
 		return err
 	}
 	printTable(res.Report(), *csv)
-	return nil
+	return o.finish("table2", args, 1, 1)
 }
 
 func cmdTable3(args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	o := addObsFlags(fs)
 	fs.Parse(args)
-	res, err := experiment.Table3(1)
+	res, err := experiment.Table3Observed(1, o.registry())
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Report().String())
 	fmt.Printf("mean time to crash: %.1f seconds (paper: 80.8)\n", res.MeanTimeToCrash().Seconds())
-	return nil
+	return o.finish("table3", args, 1, 1)
 }
 
 func cmdSweep(args []string) error {
@@ -232,6 +305,7 @@ func cmdSweep(args []string) error {
 	scenario := fs.Int("scenario", 2, "testbed scenario (1-3)")
 	pattern := fs.String("pattern", "write", "write or read")
 	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	s, err := parseScenario(*scenario)
 	if err != nil {
@@ -241,7 +315,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := attack.Sweeper{Scenario: s, Workers: *workers}.Run(p)
+	res, err := attack.Sweeper{Scenario: s, Workers: *workers, Metrics: o.registry()}.Run(p)
 	if err != nil {
 		return err
 	}
@@ -249,19 +323,20 @@ func cmdSweep(args []string) error {
 	for _, b := range res.Bands {
 		fmt.Printf("  vulnerable band: %v\n", b)
 	}
-	return nil
+	return o.finish("sweep", args, 1, *workers)
 }
 
 func cmdRange(args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	scenario := fs.Int("scenario", 2, "testbed scenario (1-3)")
 	freq := fs.Float64("freq", 650, "attack frequency in Hz")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	s, err := parseScenario(*scenario)
 	if err != nil {
 		return err
 	}
-	rows, err := attack.RangeTest{Scenario: s, Freq: units.Frequency(*freq)}.Run()
+	rows, err := attack.RangeTest{Scenario: s, Freq: units.Frequency(*freq), Metrics: o.registry()}.Run()
 	if err != nil {
 		return err
 	}
@@ -281,24 +356,25 @@ func cmdRange(args []string) error {
 	if d, ok := attack.MaxEffectiveDistance(rows, 0.05); ok {
 		fmt.Printf("maximum effective distance (≥5%% write loss): %v\n", d)
 	}
-	return nil
+	return o.finish("range", args, 1, 1)
 }
 
 func cmdCrash(args []string) error {
 	fs := flag.NewFlagSet("crash", flag.ExitOnError)
 	target := fs.String("target", "ext4", "ext4, ubuntu, or rocksdb")
+	o := addObsFlags(fs)
 	fs.Parse(args)
-	o, err := attack.ProlongedAttack{}.Run(attack.CrashTarget(*target))
+	out, err := attack.ProlongedAttack{Metrics: o.registry()}.Run(attack.CrashTarget(*target))
 	if err != nil {
 		return err
 	}
-	if !o.Crashed {
-		fmt.Printf("%s survived the attack window\n", o.Target)
-		return nil
+	if !out.Crashed {
+		fmt.Printf("%s survived the attack window\n", out.Target)
+		return o.finish("crash", args, 1, 1)
 	}
-	fmt.Printf("%s crashed after %.1f seconds\n", o.Target, o.TimeToCrash.Seconds())
-	fmt.Printf("error output: %s\n", o.ErrorOutput)
-	return nil
+	fmt.Printf("%s crashed after %.1f seconds\n", out.Target, out.TimeToCrash.Seconds())
+	fmt.Printf("error output: %s\n", out.ErrorOutput)
+	return o.finish("crash", args, 1, 1)
 }
 
 func cmdDefense(args []string) error {
@@ -392,10 +468,12 @@ func cmdOutage(args []string) error {
 	fs := flag.NewFlagSet("outage", flag.ExitOnError)
 	freq := fs.Float64("freq", 650, "attack frequency in Hz")
 	during := fs.Float64("during", 10, "attack window in virtual seconds")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	res, err := experiment.ControlledOutage{
-		Freq:   units.Frequency(*freq),
-		During: time.Duration(*during * float64(time.Second)),
+		Freq:    units.Frequency(*freq),
+		During:  time.Duration(*during * float64(time.Second)),
+		Metrics: o.registry(),
 	}.Run()
 	if err != nil {
 		return err
@@ -403,7 +481,7 @@ func cmdOutage(args []string) error {
 	fmt.Print(res.Chart().String())
 	fmt.Printf("phase means: before %.1f MB/s, during %.1f MB/s, after %.1f MB/s\n",
 		res.BeforeMBps, res.DuringMBps, res.AfterMBps)
-	return nil
+	return o.finish("outage", args, 1, 1)
 }
 
 func cmdRemoteSweep(args []string) error {

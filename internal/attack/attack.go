@@ -13,6 +13,7 @@ import (
 
 	"deepnote/internal/core"
 	"deepnote/internal/fio"
+	"deepnote/internal/metrics"
 	"deepnote/internal/parallel"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -71,6 +72,11 @@ type Sweeper struct {
 	// the same seed as the serial path, so results are identical for any
 	// worker count.
 	Workers int
+	// Metrics, when set, receives per-layer counters from every rig the
+	// sweep builds (hdd, blockdev, fio) plus the sweep's own outcome
+	// counters. Aggregation is commutative, so the snapshot is identical
+	// at any worker count; a nil registry leaves the run uninstrumented.
+	Metrics *metrics.Registry
 }
 
 func (s Sweeper) withDefaults() Sweeper {
@@ -103,9 +109,14 @@ func (s Sweeper) measure(pattern fio.Pattern, tone sig.Tone) (float64, error) {
 	if tone.Amplitude > 0 {
 		rig.ApplyTone(tone)
 	}
-	res, err := fio.NewRunner(rig.Disk, rig.Clock).Run(fio.PaperJob(pattern, s.JobRuntime))
+	res, err := fio.NewRunner(rig.Disk, rig.Clock).WithMetrics(s.Metrics).Run(fio.PaperJob(pattern, s.JobRuntime))
 	if err != nil {
 		return 0, err
+	}
+	if s.Metrics != nil {
+		rig.Drive.PublishMetrics(s.Metrics)
+		rig.Disk.PublishMetrics(s.Metrics)
+		s.Metrics.Add("attack.sweep_measurements", 1)
 	}
 	return res.ThroughputMBps(), nil
 }
@@ -127,9 +138,11 @@ func (s Sweeper) Run(pattern fio.Pattern) (SweepResult, error) {
 		return SweepResult{}, fmt.Errorf("attack: baseline throughput is zero")
 	}
 
+	s.Metrics.MaxGauge("attack.baseline_mbps", baseline)
+
 	res := SweepResult{Scenario: s.Scenario, Pattern: pattern}
 	measurePass := func(freqs []units.Frequency) ([]SweepPoint, error) {
-		return parallel.Run(context.Background(), freqs, s.Workers,
+		return parallel.RunObserved(context.Background(), freqs, s.Workers, s.Metrics,
 			func(_ context.Context, _ int, f units.Frequency) (SweepPoint, error) {
 				mbps, err := s.measure(pattern, sig.NewTone(f))
 				if err != nil {
@@ -176,6 +189,10 @@ func (s Sweeper) Run(pattern fio.Pattern) (SweepResult, error) {
 		}
 	}
 	res.Bands = sig.CoalesceBands(res.Vulnerable, s.Plan.CoarseStep+s.Plan.FineStep)
+	s.Metrics.Add("attack.sweeps", 1)
+	s.Metrics.Add("attack.sweep_points", int64(len(res.Points)))
+	s.Metrics.Add("attack.vulnerable_points", int64(len(res.Vulnerable)))
+	s.Metrics.Add("attack.bands", int64(len(res.Bands)))
 	return res, nil
 }
 
@@ -201,6 +218,9 @@ type RangeTest struct {
 	Distances  []units.Distance
 	JobRuntime time.Duration
 	Seed       int64
+	// Metrics, when set, receives the per-rig layer counters and the
+	// range test's own outcome counters (nil = uninstrumented).
+	Metrics *metrics.Registry
 }
 
 func (r RangeTest) withDefaults() RangeTest {
@@ -240,9 +260,13 @@ func (r RangeTest) Run() ([]RangeRow, error) {
 			if d > 0 {
 				rig.MoveSpeaker(d, sig.NewTone(r.Freq))
 			}
-			res, err := fio.NewRunner(rig.Disk, rig.Clock).Run(fio.PaperJob(pat, r.JobRuntime))
+			res, err := fio.NewRunner(rig.Disk, rig.Clock).WithMetrics(r.Metrics).Run(fio.PaperJob(pat, r.JobRuntime))
 			if err != nil {
 				return row, err
+			}
+			if r.Metrics != nil {
+				rig.Drive.PublishMetrics(r.Metrics)
+				rig.Disk.PublishMetrics(r.Metrics)
 			}
 			lat := res.Latencies.Mean.Seconds() * 1000
 			if res.NoResponse {
@@ -268,7 +292,12 @@ func (r RangeTest) Run() ([]RangeRow, error) {
 			return nil, err
 		}
 		rows = append(rows, row)
+		if row.ReadNoResponse || row.WriteNoResponse {
+			r.Metrics.Add("attack.range_no_response_rows", 1)
+		}
 	}
+	r.Metrics.Add("attack.range_tests", 1)
+	r.Metrics.Add("attack.range_rows", int64(len(rows)))
 	return rows, nil
 }
 

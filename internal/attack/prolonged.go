@@ -7,6 +7,7 @@ import (
 	"deepnote/internal/core"
 	"deepnote/internal/jfs"
 	"deepnote/internal/kvdb"
+	"deepnote/internal/metrics"
 	"deepnote/internal/osmodel"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -43,6 +44,10 @@ type ProlongedAttack struct {
 	// Timeout bounds the experiment in virtual time (default 150 s).
 	Timeout time.Duration
 	Seed    int64
+	// Metrics, when set, receives the layer counters of every stack the
+	// attack builds (hdd, blockdev, jfs, kvdb, osmodel) plus crash-outcome
+	// counters under "attack." (nil = uninstrumented).
+	Metrics *metrics.Registry
 }
 
 func (p ProlongedAttack) withDefaults() ProlongedAttack {
@@ -76,6 +81,21 @@ func (p ProlongedAttack) Run(target CrashTarget) (CrashOutcome, error) {
 		return p.runRocksDB()
 	default:
 		return CrashOutcome{}, fmt.Errorf("attack: unknown crash target %q", target)
+	}
+}
+
+// publishOutcome records a finished run's layer counters and crash
+// outcome (no-op on a nil registry).
+func (p ProlongedAttack) publishOutcome(rig *core.Rig, out CrashOutcome) {
+	if p.Metrics == nil {
+		return
+	}
+	rig.Drive.PublishMetrics(p.Metrics)
+	rig.Disk.PublishMetrics(p.Metrics)
+	p.Metrics.Add("attack.crash_runs", 1)
+	if out.Crashed {
+		p.Metrics.Add("attack.crashes", 1)
+		p.Metrics.MaxGauge("attack.time_to_crash_s_max", out.TimeToCrash.Seconds())
 	}
 }
 
@@ -136,9 +156,11 @@ func (p ProlongedAttack) runExt4() (CrashOutcome, error) {
 			out.Crashed = true
 			out.TimeToCrash = fs.CrashedAt().Sub(start)
 			out.ErrorOutput = abortErr.Error()
-			return out, nil
+			break
 		}
 	}
+	fs.PublishMetrics(p.Metrics)
+	p.publishOutcome(rig, out)
 	return out, nil
 }
 
@@ -162,9 +184,12 @@ func (p ProlongedAttack) runUbuntu() (CrashOutcome, error) {
 			out.Crashed = true
 			out.TimeToCrash = srv.CrashedAt().Sub(start)
 			out.ErrorOutput = crashErr.Error()
-			return out, nil
+			break
 		}
 	}
+	fs.PublishMetrics(p.Metrics)
+	srv.PublishMetrics(p.Metrics)
+	p.publishOutcome(rig, out)
 	return out, nil
 }
 
@@ -195,5 +220,8 @@ func (p ProlongedAttack) runRocksDB() (CrashOutcome, error) {
 		out.TimeToCrash = db.CrashedAt().Sub(start)
 		out.ErrorOutput = res.CrashErr.Error()
 	}
+	fs.PublishMetrics(p.Metrics)
+	db.PublishMetrics(p.Metrics)
+	p.publishOutcome(rig, out)
 	return out, nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
 )
 
 // Errors surfaced by the device.
@@ -105,6 +106,26 @@ func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// PublishMetrics pushes the device's counters into a registry under the
+// "blockdev." prefix (no-op on a nil registry).
+func (d *Disk) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := d.Stats()
+	reg.Add("blockdev.read_ops", s.ReadOps)
+	reg.Add("blockdev.write_ops", s.WriteOps)
+	reg.Add("blockdev.read_bytes", s.ReadBytes)
+	reg.Add("blockdev.write_bytes", s.WriteBytes)
+	reg.Add("blockdev.read_errors", s.ReadErrs)
+	reg.Add("blockdev.write_errors", s.WriteErrs)
+	reg.Add("blockdev.flush_ops", s.FlushOps)
+	reg.Add("blockdev.flush_errors", s.FlushErrs)
+	reg.Add("blockdev.silent_corruptions", s.SilentCorruptions)
+	reg.Add("blockdev.read_latency_ns_total", int64(s.TotalReadLatency))
+	reg.Add("blockdev.write_latency_ns_total", int64(s.TotalWriteLatency))
 }
 
 // Close marks the device unusable.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"deepnote/internal/core"
+	"deepnote/internal/metrics"
 	"deepnote/internal/report"
 	"deepnote/internal/sig"
 	"deepnote/internal/trace"
@@ -24,6 +25,10 @@ type ControlledOutage struct {
 	// Bucket is the timeline resolution.
 	Bucket time.Duration
 	Seed   int64
+	// Metrics, when set, is bound to the rig's virtual clock (snapshots
+	// stamp virtual seconds) and receives the drive/disk counters plus
+	// phase-mean gauges (nil = uninstrumented).
+	Metrics *metrics.Registry
 }
 
 func (c ControlledOutage) withDefaults() ControlledOutage {
@@ -70,6 +75,9 @@ func (c ControlledOutage) Run() (OutageResult, error) {
 	if err != nil {
 		return OutageResult{}, err
 	}
+	// Bind the registry to this rig's virtual clock up front, so the final
+	// snapshot stamps the experiment's elapsed virtual time.
+	c.Metrics.SetClock(rig.Clock)
 	meter := trace.NewMeter(rig.Clock, c.Bucket)
 	buf := make([]byte, 4096)
 	var off int64
@@ -94,6 +102,14 @@ func (c ControlledOutage) Run() (OutageResult, error) {
 	res.BeforeMBps = meter.MeanMBps(0, c.Before)
 	res.DuringMBps = meter.MeanMBps(c.Before, c.Before+c.During)
 	res.AfterMBps = meter.MeanMBps(c.Before+c.During, c.Before+c.During+c.After)
+	if c.Metrics != nil {
+		rig.Drive.PublishMetrics(c.Metrics)
+		rig.Disk.PublishMetrics(c.Metrics)
+		c.Metrics.Add("experiment.outages", 1)
+		c.Metrics.MaxGauge("experiment.outage_before_mbps", res.BeforeMBps)
+		c.Metrics.MaxGauge("experiment.outage_during_mbps", res.DuringMBps)
+		c.Metrics.MaxGauge("experiment.outage_after_mbps", res.AfterMBps)
+	}
 	return res, nil
 }
 

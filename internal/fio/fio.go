@@ -7,11 +7,13 @@ package fio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
 
 	"deepnote/internal/blockdev"
+	"deepnote/internal/metrics"
 	"deepnote/internal/simclock"
 )
 
@@ -115,6 +117,11 @@ type Result struct {
 	Elapsed time.Duration
 	// Latencies summarizes completed-request service times.
 	Latencies LatencySummary
+	// ErrorLatencies summarizes the service times of failed requests.
+	// Failed I/Os consume virtual time (retry storms are the attack's
+	// signature), so dropping them would hide exactly the delays the
+	// attack induces.
+	ErrorLatencies LatencySummary
 	// NoResponse is set when the device completed no requests at all —
 	// the paper's "-" entries in Table 1.
 	NoResponse bool
@@ -158,8 +165,17 @@ func summarize(samples []time.Duration) LatencySummary {
 	for _, s := range sorted {
 		sum += s
 	}
+	// Nearest-rank percentile: the smallest sample whose rank covers a
+	// q fraction of the population. A truncating index under-reports for
+	// small n (n=10 put P99 at the 9th value, not the max).
 	pick := func(q float64) time.Duration {
-		idx := int(q * float64(len(sorted)-1))
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
 		return sorted[idx]
 	}
 	return LatencySummary{
@@ -175,11 +191,30 @@ func summarize(samples []time.Duration) LatencySummary {
 type Runner struct {
 	dev   blockdev.Device
 	clock simclock.Clock
+
+	reg *metrics.Registry
+	// Pre-resolved histogram handles: the per-op hot path does one
+	// atomic bucket increment instead of a registry map lookup.
+	latOK, latErr *metrics.Histogram
 }
 
 // NewRunner returns a runner bound to a device and clock.
 func NewRunner(dev blockdev.Device, clock simclock.Clock) *Runner {
 	return &Runner{dev: dev, clock: clock}
+}
+
+// WithMetrics attaches a registry: per-op latencies stream into
+// "fio.lat_ok_ns" / "fio.lat_err_ns" histograms and each Run publishes
+// its op/byte/error counters. A nil registry leaves the runner
+// uninstrumented; either way the simulation outcome is unchanged, because
+// metrics never touch the clock or the workload RNG.
+func (r *Runner) WithMetrics(reg *metrics.Registry) *Runner {
+	r.reg = reg
+	if reg != nil {
+		r.latOK = reg.Histogram("fio.lat_ok_ns")
+		r.latErr = reg.Histogram("fio.lat_err_ns")
+	}
+	return r
 }
 
 // Run executes the job to completion (runtime or op budget, whichever
@@ -197,7 +232,7 @@ func (r *Runner) Run(job Job) (Result, error) {
 	blocks := job.Span / int64(job.BlockSize)
 
 	res := Result{Job: job}
-	var lats []time.Duration
+	var lats, errLats []time.Duration
 	start := r.clock.Now()
 	var seq int64
 	for i := 0; ; i++ {
@@ -234,14 +269,34 @@ func (r *Runner) Run(job Job) (Result, error) {
 		lat := r.clock.Now().Sub(opStart)
 		if err != nil {
 			res.Errors++
+			errLats = append(errLats, lat)
+			r.latErr.ObserveDuration(lat)
 			continue
 		}
 		res.Ops++
 		res.Bytes += int64(job.BlockSize)
 		lats = append(lats, lat)
+		r.latOK.ObserveDuration(lat)
 	}
 	res.Elapsed = r.clock.Now().Sub(start)
 	res.Latencies = summarize(lats)
+	res.ErrorLatencies = summarize(errLats)
 	res.NoResponse = res.Ops == 0
+	r.publish(res)
 	return res, nil
+}
+
+// publish pushes one run's totals into the attached registry (no-op
+// without one).
+func (r *Runner) publish(res Result) {
+	if r.reg == nil {
+		return
+	}
+	r.reg.Add("fio.runs", 1)
+	r.reg.Add("fio.ops", int64(res.Ops))
+	r.reg.Add("fio.errors", int64(res.Errors))
+	r.reg.Add("fio.bytes", res.Bytes)
+	if res.NoResponse {
+		r.reg.Add("fio.no_response_runs", 1)
+	}
 }

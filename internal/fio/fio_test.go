@@ -196,6 +196,52 @@ func TestLatencySummary(t *testing.T) {
 	}
 }
 
+func TestPercentilesNearestRankSmallN(t *testing.T) {
+	// Regression: with n=10 distinct samples, a truncating index put P99
+	// at the 9th value instead of the max. Nearest-rank (ceil(q·n)) must
+	// return the max for any q > 0.9 at n=10.
+	samples := make([]time.Duration, 10)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := summarize(samples)
+	if s.P99 != 10*time.Millisecond {
+		t.Fatalf("P99 of 1..10ms = %v, want 10ms (nearest rank)", s.P99)
+	}
+	if s.P50 != 5*time.Millisecond {
+		t.Fatalf("P50 of 1..10ms = %v, want 5ms", s.P50)
+	}
+	// n=1: every percentile is that sample.
+	one := summarize([]time.Duration{7 * time.Millisecond})
+	if one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond {
+		t.Fatalf("n=1 percentiles = %+v", one)
+	}
+}
+
+func TestErrorLatenciesRecorded(t *testing.T) {
+	// Regression: failed ops consume virtual time but used to vanish
+	// from the latency accounting entirely.
+	r, disk, _ := newRig(t)
+	disk.Drive().SetVibration(hdd.Vibration{Freq: 650, Amplitude: 2.4})
+	res, err := r.Run(PaperJob(SeqWrite, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("expected failed requests under a heavy attack")
+	}
+	if res.ErrorLatencies.Count != res.Errors {
+		t.Fatalf("ErrorLatencies.Count = %d, want %d (one sample per failed op)",
+			res.ErrorLatencies.Count, res.Errors)
+	}
+	if res.ErrorLatencies.Mean <= 0 || res.ErrorLatencies.Max < res.ErrorLatencies.P50 {
+		t.Fatalf("implausible error-latency summary: %+v", res.ErrorLatencies)
+	}
+	if res.Latencies.Count != 0 {
+		t.Fatalf("no ops completed, but Latencies.Count = %d", res.Latencies.Count)
+	}
+}
+
 func TestZeroElapsedResultAccessors(t *testing.T) {
 	var r Result
 	if r.ThroughputMBps() != 0 || r.IOPS() != 0 {

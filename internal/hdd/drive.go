@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"deepnote/internal/metrics"
 	"deepnote/internal/simclock"
 	"deepnote/internal/units"
 )
@@ -105,6 +106,7 @@ type Stats struct {
 	Reads, Writes           int64
 	ReadErrors, WriteErrors int64
 	Retries                 int64
+	Seeks                   int64
 	ShockParks              int64
 	AdjacentCorruptions     int64
 	BytesRead, BytesWritten int64
@@ -143,6 +145,26 @@ func (d *Drive) Model() Model { return d.model }
 
 // Stats returns a copy of the activity counters.
 func (d *Drive) Stats() Stats { return d.stats }
+
+// PublishMetrics pushes the drive's counters into a registry under the
+// "hdd." prefix. Counters are cumulative totals; callers publish once per
+// drive lifetime (no-op on a nil registry).
+func (d *Drive) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := d.stats
+	reg.Add("hdd.reads", s.Reads)
+	reg.Add("hdd.writes", s.Writes)
+	reg.Add("hdd.read_errors", s.ReadErrors)
+	reg.Add("hdd.write_errors", s.WriteErrors)
+	reg.Add("hdd.retries", s.Retries)
+	reg.Add("hdd.seeks", s.Seeks)
+	reg.Add("hdd.shock_parks", s.ShockParks)
+	reg.Add("hdd.adjacent_corruptions", s.AdjacentCorruptions)
+	reg.Add("hdd.bytes_read", s.BytesRead)
+	reg.Add("hdd.bytes_written", s.BytesWritten)
+}
 
 // Vibration returns the current excitation state.
 func (d *Drive) Vibration() Vibration { return d.vib }
@@ -282,6 +304,7 @@ func (d *Drive) baseTime(op Op, offset, length int64) time.Duration {
 		t = d.model.WriteOverhead
 	}
 	if !d.lastOp.set || d.lastOp.end != offset {
+		d.stats.Seeks++
 		t += d.model.SeekTime(offset - d.lastOp.end)
 		if op == OpRead {
 			t += d.model.RevolutionPeriod() / 2

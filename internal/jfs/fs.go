@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"deepnote/internal/blockdev"
+	"deepnote/internal/metrics"
 	"deepnote/internal/simclock"
 )
 
@@ -74,6 +75,8 @@ type FS struct {
 
 	// CommitAttempts and CommitFailures count journal activity.
 	CommitAttempts, CommitFailures int
+	// Replays counts journal transactions replayed at mount.
+	Replays int
 }
 
 // Mkfs formats the device. It must run against a quiet (un-attacked)
@@ -217,6 +220,7 @@ func (fs *FS) replayJournal() error {
 		pos += uint64(len(blocks)) + 2
 		seq++
 	}
+	fs.Replays = replayed
 	// Journal fully checkpointed: mark empty.
 	fs.js = journalSuper{Start: 1, Head: 1, Sequence: seq}
 	if err := writeBlock(fs.dev, fs.sb.JournalStart, fs.js.encode()); err != nil {
@@ -287,6 +291,20 @@ func (fs *FS) dirBlocks() uint64 { return fs.sb.DataStart - fs.dirStart() }
 
 // Aborted reports whether the journal has aborted, and with what error.
 func (fs *FS) Aborted() (bool, error) { return fs.aborted, fs.abortErr }
+
+// PublishMetrics pushes the filesystem's journal counters into a registry
+// under the "jfs." prefix (no-op on a nil registry).
+func (fs *FS) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Add("jfs.commit_attempts", int64(fs.CommitAttempts))
+	reg.Add("jfs.commit_failures", int64(fs.CommitFailures))
+	reg.Add("jfs.replays", int64(fs.Replays))
+	if fs.aborted {
+		reg.Add("jfs.aborts", 1)
+	}
+}
 
 // CrashedAt returns the virtual time of the journal abort (zero if none).
 func (fs *FS) CrashedAt() time.Time { return fs.crashedAt }

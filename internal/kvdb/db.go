@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deepnote/internal/jfs"
+	"deepnote/internal/metrics"
 	"deepnote/internal/simclock"
 )
 
@@ -206,6 +207,31 @@ func Open(fs *jfs.FS, clock simclock.Clock, opts Options) (*DB, error) {
 
 // Stats returns a copy of the counters.
 func (db *DB) Stats() DBStats { return db.stats }
+
+// PublishMetrics pushes the engine's counters into a registry under the
+// "kvdb." prefix (no-op on a nil registry).
+func (db *DB) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := db.stats
+	reg.Add("kvdb.puts", s.Puts)
+	reg.Add("kvdb.gets", s.Gets)
+	reg.Add("kvdb.deletes", s.Deletes)
+	reg.Add("kvdb.memtable_flushes", s.MemtableFlushes)
+	reg.Add("kvdb.compactions", s.Compactions)
+	reg.Add("kvdb.wal_flushes", s.WALFlushes)
+	reg.Add("kvdb.wal_errors", s.WALErrors)
+	reg.Add("kvdb.stall_episodes", s.StallEpisodes)
+	reg.Add("kvdb.bytes_written", s.BytesWritten)
+	reg.Add("kvdb.bytes_read", s.BytesRead)
+	if db.crashed {
+		reg.Add("kvdb.crashes", 1)
+	}
+	l0, l1 := db.Levels()
+	reg.MaxGauge("kvdb.l0_tables_peak", float64(l0))
+	reg.MaxGauge("kvdb.l1_tables_peak", float64(l1))
+}
 
 // Crashed reports the crash state.
 func (db *DB) Crashed() (bool, error) { return db.crashed, db.crashErr }

@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Add("hdd.reads", 3)
+	r.MaxGauge("hdd.temp", 40)
+	r.Observe("hdd.lat", 100)
+	r.SetClock(simclock.NewVirtual())
+	r.Merge(NewRegistry())
+	r.Counter("x").Add(1)
+	r.Gauge("x").SetMax(1)
+	r.Histogram("x").Observe(1)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || snap.Schema != SnapshotSchema {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a.ops", 2)
+	r.Add("a.ops", 3)
+	if got := r.Counter("a.ops").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.MaxGauge("a.peak", 2)
+	r.MaxGauge("a.peak", 7)
+	r.MaxGauge("a.peak", 4)
+	if got := r.Gauge("a.peak").Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7 (max-merge)", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d", got)
+	}
+	// Values 1..1000: p50 rank 500 lands in bucket (255,511]; log-bucket
+	// quantiles resolve to the bucket's upper bound.
+	if got := h.Quantile(0.5); got != 511 {
+		t.Fatalf("p50 = %d, want 511", got)
+	}
+	// p99 rank 990 lands in the last populated bucket (513..1000), whose
+	// bound is tightened to the exact max.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Fatalf("p99 = %d, want 1000", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %d, want exact max 1000", got)
+	}
+}
+
+func TestHistogramMergeCommutes(t *testing.T) {
+	build := func(vals ...int64) *Registry {
+		r := NewRegistry()
+		for _, v := range vals {
+			r.Observe("lat", v)
+		}
+		return r
+	}
+	a := build(1, 10, 100)
+	b := build(1000, 5)
+	ab := NewRegistry()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := NewRegistry()
+	ba.Merge(build(1000, 5))
+	ba.Merge(build(1, 10, 100))
+	sa, _ := json.Marshal(ab.Snapshot())
+	sb, _ := json.Marshal(ba.Snapshot())
+	if string(sa) != string(sb) {
+		t.Fatalf("merge order changed snapshot:\n%s\n%s", sa, sb)
+	}
+	h := ab.Histogram("lat")
+	if h.Count() != 5 || h.Quantile(1) != 1000 {
+		t.Fatalf("merged count=%d max=%d", h.Count(), h.Quantile(1))
+	}
+}
+
+func TestMergeSumsCountersAndMaxesGauges(t *testing.T) {
+	a := NewRegistry()
+	a.Add("x.ops", 2)
+	a.MaxGauge("x.peak", 3)
+	b := NewRegistry()
+	b.Add("x.ops", 5)
+	b.MaxGauge("x.peak", 1)
+	a.Merge(b)
+	if got := a.Counter("x.ops").Value(); got != 7 {
+		t.Fatalf("merged counter = %d", got)
+	}
+	if got := a.Gauge("x.peak").Value(); got != 3 {
+		t.Fatalf("merged gauge = %g", got)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		r.Add("b.ops", 1)
+		r.Add("a.ops", 2)
+		r.MaxGauge("c.peak", 1.5)
+		r.Observe("a.lat", 100)
+		r.Observe("a.lat", 3)
+		return r
+	}
+	j1, err := json.Marshal(mk().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(mk().Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshot JSON not stable:\n%s\n%s", j1, j2)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if round.Counters["a.ops"] != 2 || round.Histograms["a.lat"].Count != 2 {
+		t.Fatalf("round-trip lost data: %+v", round)
+	}
+}
+
+func TestConcurrentPublishersConverge(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("p.ops", 1)
+				r.Observe("p.lat", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("p.ops").Value(); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d", got)
+	}
+	if got := r.Histogram("p.lat").Count(); got != 8000 {
+		t.Fatalf("concurrent observes lost updates: %d", got)
+	}
+}
+
+func TestVirtualClockStamp(t *testing.T) {
+	clk := simclock.NewVirtual()
+	r := NewRegistry()
+	r.SetClock(clk)
+	clk.Advance(90 * time.Second)
+	snap := r.Snapshot()
+	if snap.VirtualSeconds != 90 {
+		t.Fatalf("virtual_seconds = %g, want 90", snap.VirtualSeconds)
+	}
+}
+
+func TestLayersAndTable(t *testing.T) {
+	r := NewRegistry()
+	r.Add("hdd.reads", 10)
+	r.Add("hdd.read_errors", 2)
+	r.Add("fio.ops", 5)
+	r.Add("jfs.commit_failures", 1)
+	r.Add("idle.nothing", 0)
+	r.Observe("fio.lat_ns", 100)
+	snap := r.Snapshot()
+	layers := snap.Layers()
+	want := []string{"fio", "hdd", "jfs"}
+	if len(layers) != len(want) {
+		t.Fatalf("layers = %v, want %v", layers, want)
+	}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("layers = %v, want %v", layers, want)
+		}
+	}
+	out := snap.LayerTable().String()
+	for _, needle := range []string{"hdd", "fio", "jfs", "Errors"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("layer table missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("hdd.reads", 1)
+	m := NewManifest("sweep", []string{"-scenario", "2"}, 7, 4, r.Snapshot())
+	if m.Schema != ManifestSchema || m.GitDescribe == "" || m.GoVersion == "" {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	path := t.TempDir() + "/manifest.json"
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Manifest
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Command != "sweep" || round.Seed != 7 || round.Workers != 4 ||
+		round.Metrics.Counters["hdd.reads"] != 1 {
+		t.Fatalf("manifest round-trip mismatch: %+v", round)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"deepnote/internal/jfs"
+	"deepnote/internal/metrics"
 	"deepnote/internal/simclock"
 )
 
@@ -103,6 +104,10 @@ type Server struct {
 	PageIns, PageInErrors int64
 	LogWrites, LogErrors  int64
 	Commands, CommandErrs int64
+	// Hangs counts transitions into the critical-failure state: episodes
+	// where root-device I/O started failing continuously (the paper's
+	// "system hangs" before the eventual panic).
+	Hangs int64
 }
 
 // Boot installs the system files (if absent) and starts the server.
@@ -160,6 +165,25 @@ func (s *Server) CrashedAt() time.Time { return s.crashedAt }
 
 // Dmesg returns the kernel ring buffer contents.
 func (s *Server) Dmesg() []string { return s.dmesg.Lines() }
+
+// PublishMetrics pushes the server's counters into a registry under the
+// "osmodel." prefix (no-op on a nil registry).
+func (s *Server) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Add("osmodel.page_ins", s.PageIns)
+	reg.Add("osmodel.page_in_errors", s.PageInErrors)
+	reg.Add("osmodel.log_writes", s.LogWrites)
+	reg.Add("osmodel.log_errors", s.LogErrors)
+	reg.Add("osmodel.commands", s.Commands)
+	reg.Add("osmodel.command_errors", s.CommandErrs)
+	reg.Add("osmodel.hangs", s.Hangs)
+	reg.Add("osmodel.dmesg_lines", int64(len(s.dmesg.Lines())))
+	if s.crashed {
+		reg.Add("osmodel.crashes", 1)
+	}
+}
 
 // Step runs the kernel's periodic work that is due at the current virtual
 // time: page-ins and log flushes. The caller advances the clock between
@@ -237,6 +261,7 @@ func (s *Server) criticalFailure(cause error) {
 	now := s.clock.Now()
 	if s.failingSince.IsZero() {
 		s.failingSince = now
+		s.Hangs++
 	}
 	if now.Sub(s.failingSince) >= s.cfg.CrashThreshold {
 		s.crashed = true

@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"deepnote/internal/metrics"
 )
 
 // DefaultWorkers resolves a worker-count request: values ≤ 0 mean "one
@@ -109,6 +111,24 @@ func Run[T, R any](ctx context.Context, tasks []T, workers int, fn func(ctx cont
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// RunObserved is Run with engine-level observability: it publishes
+// "parallel.runs", "parallel.tasks", and (on error) "parallel.cancellations"
+// counters into the registry. The published values depend only on the task
+// list and the outcome — never on scheduling or worker count — so
+// instrumented grids stay bit-identical at any parallelism. A nil registry
+// makes it exactly Run.
+func RunObserved[T, R any](ctx context.Context, tasks []T, workers int, reg *metrics.Registry, fn func(ctx context.Context, index int, task T) (R, error)) ([]R, error) {
+	out, err := Run(ctx, tasks, workers, fn)
+	if reg != nil && len(tasks) > 0 {
+		reg.Add("parallel.runs", 1)
+		reg.Add("parallel.tasks", int64(len(tasks)))
+		if err != nil {
+			reg.Add("parallel.cancellations", 1)
+		}
+	}
+	return out, err
 }
 
 // Map is Run without cancellation plumbing, for grids whose tasks cannot

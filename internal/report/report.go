@@ -127,6 +127,15 @@ type Chart struct {
 // markers label the series in draw order.
 var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
 
+// plottable reports whether point i of the series has both coordinates
+// present and finite. Meters and experiment math can emit NaN/Inf (e.g. a
+// zero-duration window); those points are dropped from rendering and CSV
+// rather than corrupting the scale or the output file.
+func plottable(s Series, i int) bool {
+	return i < len(s.Y) && !math.IsNaN(s.X[i]) && !math.IsInf(s.X[i], 0) &&
+		!math.IsNaN(s.Y[i]) && !math.IsInf(s.Y[i], 0)
+}
+
 // String renders the chart.
 func (c *Chart) String() string {
 	w, h := c.Width, c.Height
@@ -140,13 +149,21 @@ func (c *Chart) String() string {
 	minY, maxY := 0.0, math.Inf(-1)
 	for _, s := range c.Series {
 		for i := range s.X {
+			if !plottable(s, i) {
+				continue
+			}
 			minX = math.Min(minX, s.X[i])
 			maxX = math.Max(maxX, s.X[i])
 			maxY = math.Max(maxY, s.Y[i])
 		}
 	}
-	if math.IsInf(minX, 1) || maxX == minX {
+	if math.IsInf(minX, 1) {
 		return c.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		// A single distinct x (one-point series): widen the range so the
+		// point still renders instead of reporting "no data".
+		maxX = minX + 1
 	}
 	if maxY <= minY {
 		maxY = minY + 1
@@ -158,6 +175,9 @@ func (c *Chart) String() string {
 	for si, s := range c.Series {
 		m := markers[si%len(markers)]
 		for i := range s.X {
+			if !plottable(s, i) {
+				continue
+			}
 			px := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
 			py := int((s.Y[i] - minY) / (maxY - minY) * float64(h-1))
 			row := h - 1 - py
@@ -190,12 +210,17 @@ func (c *Chart) String() string {
 	return b.String()
 }
 
-// CSV renders all series as long-format CSV (series,x,y).
+// CSV renders all series as long-format CSV (series,x,y). Points with
+// NaN/Inf coordinates are dropped — spreadsheet and plotting tools choke
+// on those tokens.
 func (c *Chart) CSV() string {
 	var b strings.Builder
 	b.WriteString("series,x,y\n")
 	for _, s := range c.Series {
 		for i := range s.X {
+			if !plottable(s, i) {
+				continue
+			}
 			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
 		}
 	}

@@ -77,20 +77,27 @@ func (m *Meter) Add(n int64) {
 // BucketWidth returns the configured width.
 func (m *Meter) BucketWidth() time.Duration { return m.width }
 
-// Buckets returns throughput points (bucket midpoint, MB/s) for every
-// bucket from zero through the last bucket touched, including empty ones —
-// an outage must show up as zeros, not be elided.
-func (m *Meter) Buckets() []Point {
+// lastBucket returns the highest bucket index covered by the meter: the
+// last bucket touched by Add, extended through "now" so trailing silence
+// is visible too. Returns -1 when nothing is covered yet.
+func (m *Meter) lastBucket() int {
 	last := -1
 	for idx := range m.counts {
 		if idx > last {
 			last = idx
 		}
 	}
-	// Extend through "now" so trailing silence is visible too.
 	if nowIdx := int(m.clock.Now().Sub(m.origin) / m.width); nowIdx-1 > last {
 		last = nowIdx - 1
 	}
+	return last
+}
+
+// Buckets returns throughput points (bucket midpoint, MB/s) for every
+// bucket from zero through the last bucket touched, including empty ones —
+// an outage must show up as zeros, not be elided.
+func (m *Meter) Buckets() []Point {
+	last := m.lastBucket()
 	out := make([]Point, 0, last+1)
 	secs := m.width.Seconds()
 	for i := 0; i <= last; i++ {
@@ -102,19 +109,37 @@ func (m *Meter) Buckets() []Point {
 	return out
 }
 
-// MeanMBps returns the mean throughput over [from, to) bucket times.
+// MeanMBps returns the mean throughput over the window [from, to), using
+// overlap semantics: every bucket whose interval [i·w, (i+1)·w) overlaps
+// the window contributes with equal weight. A window aligned to bucket
+// edges therefore averages exactly the buckets inside it, and a window
+// ending mid-bucket includes that partial bucket rather than silently
+// dropping it. (The previous midpoint test excluded a boundary bucket
+// whenever the window edge landed on or before its midpoint.)
 func (m *Meter) MeanMBps(from, to time.Duration) float64 {
-	pts := m.Buckets()
-	var sum float64
-	n := 0
-	for _, p := range pts {
-		if p.T >= from && p.T < to {
-			sum += p.V
-			n++
-		}
-	}
-	if n == 0 {
+	if to <= from {
 		return 0
 	}
-	return sum / float64(n)
+	last := m.lastBucket()
+	lo := int(from / m.width)
+	if from < 0 {
+		lo = 0
+	}
+	hi := int((to + m.width - 1) / m.width) // ceil(to/w)
+	hi--
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > last {
+		hi = last
+	}
+	if hi < lo {
+		return 0
+	}
+	secs := m.width.Seconds()
+	var sum float64
+	for i := lo; i <= hi; i++ {
+		sum += float64(m.counts[i]) / 1e6 / secs
+	}
+	return sum / float64(hi-lo+1)
 }

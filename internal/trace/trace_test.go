@@ -82,6 +82,41 @@ func TestMeterMean(t *testing.T) {
 	}
 }
 
+func TestMeterMeanOverlapSemantics(t *testing.T) {
+	// Buckets: [0s,1s) holds 2 MB/s, [1s,2s) holds 4 MB/s.
+	clock := simclock.NewVirtual()
+	m := NewMeter(clock, time.Second)
+	m.Add(2e6)
+	clock.Advance(time.Second)
+	m.Add(4e6)
+	clock.Advance(time.Second)
+
+	// Regression: the old midpoint test dropped bucket 1 for the window
+	// [0.5s, 1.5s) because its midpoint (1.5s) is not < 1.5s. Overlap
+	// semantics include every bucket the window touches.
+	if got := m.MeanMBps(500*time.Millisecond, 1500*time.Millisecond); got != 3.0 {
+		t.Fatalf("overlap mean over [0.5s,1.5s) = %v, want 3 (both buckets)", got)
+	}
+	// Edge-aligned windows cover exactly the buckets inside them.
+	if got := m.MeanMBps(time.Second, 2*time.Second); got != 4.0 {
+		t.Fatalf("mean over [1s,2s) = %v, want 4", got)
+	}
+	if got := m.MeanMBps(0, time.Second); got != 2.0 {
+		t.Fatalf("mean over [0s,1s) = %v, want 2", got)
+	}
+	// A window ending mid-bucket includes that partial bucket.
+	if got := m.MeanMBps(0, 1500*time.Millisecond); got != 3.0 {
+		t.Fatalf("mean over [0s,1.5s) = %v, want 3", got)
+	}
+	// Degenerate and out-of-range windows are empty.
+	if got := m.MeanMBps(time.Second, time.Second); got != 0 {
+		t.Fatalf("zero-width window mean = %v", got)
+	}
+	if got := m.MeanMBps(2*time.Second, time.Second); got != 0 {
+		t.Fatalf("inverted window mean = %v", got)
+	}
+}
+
 func TestMeterDefaultBucket(t *testing.T) {
 	m := NewMeter(simclock.NewVirtual(), 0)
 	if m.BucketWidth() != time.Second {
