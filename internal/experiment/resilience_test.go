@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"deepnote/internal/metrics"
+)
+
+// testResilienceSpec shrinks the episode so the three-config ladder stays
+// fast: a 12 s crash threshold inside a 30 s attack, with enough cooldown
+// for the watchdog to reboot.
+func testResilienceSpec(workers int, reg *metrics.Registry) Resilience {
+	return Resilience{
+		Pre:            6 * time.Second,
+		Attack:         30 * time.Second,
+		Cooldown:       25 * time.Second,
+		CrashThreshold: 12 * time.Second,
+		Workers:        workers,
+		Metrics:        reg,
+	}
+}
+
+func TestResilienceLadderOutcomes(t *testing.T) {
+	rows, err := testResilienceSpec(1, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ResilienceRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+
+	bare := byName["bare"]
+	if !bare.Crashed || bare.Recovered || bare.Reboots != 0 {
+		t.Fatalf("bare stack must crash and stay down: %+v", bare)
+	}
+	// Time-to-crash tracks the crash threshold (the paper's ≈81 s scales
+	// with the 80 s default; the test threshold is 12 s).
+	if bare.TimeToCrash < 11*time.Second || bare.TimeToCrash > 20*time.Second {
+		t.Fatalf("bare TTC = %v", bare.TimeToCrash)
+	}
+	if bare.BurstMasked {
+		t.Fatal("bare stack has no retry layer; the injected burst must surface")
+	}
+
+	wd := byName["watchdog"]
+	if !wd.Crashed || !wd.Recovered || wd.Reboots != 1 || wd.MTTR <= 0 {
+		t.Fatalf("watchdog stack must crash once and recover: %+v", wd)
+	}
+
+	hard := byName["hardened"]
+	if !hard.Recovered || !hard.BurstMasked {
+		t.Fatalf("hardened stack must mask the burst and recover: %+v", hard)
+	}
+	if hard.AvailabilityPct <= bare.AvailabilityPct {
+		t.Fatalf("hardening must buy availability: hardened %.1f%% vs bare %.1f%%",
+			hard.AvailabilityPct, bare.AvailabilityPct)
+	}
+}
+
+func TestResilienceDeterministicAcrossWorkers(t *testing.T) {
+	type run struct {
+		rows []byte
+		snap []byte
+	}
+	runAt := func(workers int) run {
+		reg := metrics.NewRegistry()
+		rows, err := testResilienceSpec(workers, reg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rj, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run{rows: rj, snap: sj}
+	}
+	base := runAt(1)
+	for _, workers := range []int{2, 8} {
+		got := runAt(workers)
+		if string(got.rows) != string(base.rows) {
+			t.Fatalf("rows differ at workers=%d:\n%s\nvs\n%s", workers, got.rows, base.rows)
+		}
+		if string(got.snap) != string(base.snap) {
+			t.Fatalf("metrics snapshot differs at workers=%d", workers)
+		}
+	}
+}
+
+func TestResilienceSnapshotShowsFaultsAndRecovery(t *testing.T) {
+	// Acceptance: every injected fault and recovery action must be visible
+	// in the deepnote-metrics snapshot.
+	reg := metrics.NewRegistry()
+	if _, err := testResilienceSpec(1, reg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, key := range []string{
+		"faultinj.injected_read_errors",
+		"blockdev.retry.requests",
+		"blockdev.retry.recovered",
+		"osmodel.watchdog.reboots",
+		"osmodel.watchdog.replayed_tx",
+		"experiment.resilience.bare.crashes",
+		"experiment.resilience.hardened.recoveries",
+	} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Fatalf("key %s missing from snapshot", key)
+		}
+	}
+	if snap.Counters["faultinj.injected_read_errors"]+
+		snap.Counters["faultinj.injected_write_errors"]+
+		snap.Counters["faultinj.injected_flush_errors"] == 0 {
+		t.Fatal("no injected faults recorded")
+	}
+	if snap.Counters["osmodel.watchdog.reboots"] < 2 {
+		t.Fatalf("watchdog+hardened should both reboot: %d",
+			snap.Counters["osmodel.watchdog.reboots"])
+	}
+}

@@ -1,0 +1,165 @@
+package netstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/faultinj"
+	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
+	"deepnote/internal/simclock"
+)
+
+// newHardenedServer builds a server over a fault-injected disk.
+func newHardenedServer(t *testing.T, cfg Config, faults ...faultinj.Fault) (*Server, *blockdev.Disk, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtual()
+	drive, err := hdd.NewDrive(hdd.Barracuda500(), clock, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := blockdev.NewDisk(drive)
+	dev := faultinj.Wrap(disk, clock, 17, faults...)
+	return NewServer(dev, clock, cfg), disk, clock
+}
+
+func TestResilienceDisabledPreservesBareBehavior(t *testing.T) {
+	// The hardened path is opt-in; with it off, the request stream —
+	// latencies included, which means the RNG draw sequence — must be
+	// byte-identical to the bare server's.
+	run := func(cfg Config) []time.Duration {
+		s, _, _ := newServer(t, cfg)
+		if err := s.Preload(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, 50)
+		for i := range out {
+			out[i] = s.Handle(Get, i%s.cfg.Objects).Latency
+		}
+		return out
+	}
+	bare := run(Config{})
+	zero := run(Config{Resilience: ResilienceConfig{}})
+	for i := range bare {
+		if bare[i] != zero[i] {
+			t.Fatalf("request %d: bare %v vs zero-resilience %v", i, bare[i], zero[i])
+		}
+	}
+}
+
+func TestRetriesMaskTransientStorageErrors(t *testing.T) {
+	// A 40 ms injected error window: the bare server answers 503s, the
+	// hardened server retries past the window and the client never sees
+	// the fault.
+	burst := faultinj.Fault{Kind: faultinj.TransientError, Duration: 40 * time.Millisecond}
+	cfg := Config{Resilience: ResilienceConfig{Enabled: true}}
+	s, _, _ := newHardenedServer(t, cfg, burst)
+	r := s.Handle(Put, 1)
+	if r.Err != nil {
+		t.Fatalf("hardened PUT failed: %v", r.Err)
+	}
+	if s.Retries == 0 || s.Recovered != 1 {
+		t.Fatalf("retries=%d recovered=%d", s.Retries, s.Recovered)
+	}
+
+	bare, _, _ := newHardenedServer(t, Config{}, burst)
+	if r := bare.Handle(Put, 1); r.Err == nil {
+		t.Fatal("bare server should surface the fault")
+	}
+}
+
+func TestHedgedGetRecoversWithoutBackoff(t *testing.T) {
+	// Probability-0.5 read faults: a failed GET is hedged immediately.
+	flaky := faultinj.Fault{
+		Kind: faultinj.TransientError, Ops: faultinj.OpRead,
+		Duration: time.Hour, Probability: 0.5,
+	}
+	cfg := Config{Resilience: ResilienceConfig{Enabled: true}}
+	s, _, _ := newHardenedServer(t, cfg, flaky)
+	fails := 0
+	for i := 0; i < 40; i++ {
+		if r := s.Handle(Get, i); r.Err != nil {
+			fails++
+		}
+	}
+	if s.Hedges == 0 {
+		t.Fatal("no GETs were hedged")
+	}
+	if fails == 40 {
+		t.Fatal("hedging never recovered a request")
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	cfg := Config{
+		Resilience: ResilienceConfig{
+			Enabled:          true,
+			MaxRetries:       1,
+			BreakerThreshold: 3,
+			BreakerCooldown:  2 * time.Second,
+		},
+	}
+	// Storage dead for 10 s, then healthy.
+	dead := faultinj.Fault{Kind: faultinj.TransientError, Duration: 10 * time.Second}
+	s, _, clock := newHardenedServer(t, cfg, dead)
+
+	// Failures accumulate until the breaker opens.
+	for i := 0; s.BreakerState() == "closed" && i < 10; i++ {
+		s.Handle(Put, i)
+	}
+	if s.BreakerState() != "open" || s.BreakerOpens != 1 {
+		t.Fatalf("breaker %s after failures (opens=%d)", s.BreakerState(), s.BreakerOpens)
+	}
+	// While open, requests fast-fail without touching storage.
+	if r := s.Handle(Put, 0); !errors.Is(r.Err, ErrUnavailable) {
+		t.Fatalf("open breaker served request: %v", r.Err)
+	}
+	if s.FastFails == 0 {
+		t.Fatal("fast-fail not counted")
+	}
+	// A probe during the outage re-opens the breaker.
+	clock.Advance(3 * time.Second)
+	if r := s.Handle(Put, 0); errors.Is(r.Err, ErrUnavailable) {
+		t.Fatalf("cooldown elapsed but no probe let through: %v", r.Err)
+	}
+	if s.BreakerState() != "open" {
+		t.Fatalf("failed probe should re-open, got %s", s.BreakerState())
+	}
+	// After the outage ends, the next probe closes the circuit.
+	clock.Advance(10 * time.Second)
+	if r := s.Handle(Put, 0); r.Err != nil {
+		t.Fatalf("probe after outage: %v", r.Err)
+	}
+	if s.BreakerState() != "closed" || s.BreakerCloses != 1 {
+		t.Fatalf("breaker %s after recovery (closes=%d)", s.BreakerState(), s.BreakerCloses)
+	}
+}
+
+func TestNetstorePublishMetrics(t *testing.T) {
+	burst := faultinj.Fault{Kind: faultinj.TransientError, Duration: 40 * time.Millisecond}
+	cfg := Config{Resilience: ResilienceConfig{Enabled: true}}
+	s, _, _ := newHardenedServer(t, cfg, burst)
+	s.Handle(Put, 1)
+	s.Handle(Get, 1)
+	reg := metrics.NewRegistry()
+	s.PublishMetrics(reg)
+	snap := reg.Snapshot()
+	if snap.Counters["netstore.requests"] != 2 {
+		t.Fatalf("snapshot: %+v", snap.Counters)
+	}
+	if snap.Counters["netstore.retries"] == 0 {
+		t.Fatalf("snapshot: %+v", snap.Counters)
+	}
+	for _, key := range []string{
+		"netstore.timeouts", "netstore.errors", "netstore.hedges",
+		"netstore.recovered", "netstore.fast_fails",
+		"netstore.breaker_opens", "netstore.breaker_closes",
+	} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Fatalf("key %s missing from snapshot", key)
+		}
+	}
+	s.PublishMetrics(nil) // must not panic
+}

@@ -224,13 +224,13 @@ func (s *Server) pageIn() {
 	target := systemFiles[s.rng.Intn(len(systemFiles))]
 	f, err := s.fs.Open(target.name)
 	if err != nil {
-		s.recordIOFailure(target.name, 0, err)
+		s.recordReadFailure(target.name, 0, err)
 		return
 	}
 	page := make([]byte, jfs.BlockSize)
 	block := int64(s.rng.Intn(target.blocks))
 	if _, err := f.ReadAt(page, block*jfs.BlockSize); err != nil {
-		s.recordIOFailure(target.name, block, err)
+		s.recordReadFailure(target.name, block, err)
 		return
 	}
 	s.criticalSuccess()
@@ -243,14 +243,25 @@ func (s *Server) flushLog() {
 	line := fmt.Sprintf("%s server[1]: heartbeat %d\n", s.clock.Now().Format("Jan 02 15:04:05"), s.logSeq)
 	if _, err := s.logFile.Append([]byte(line)); err != nil {
 		s.LogErrors++
-		s.recordIOFailure("var_syslog", 0, err)
+		s.recordWriteFailure("var_syslog", 0, err)
 		return
 	}
 	s.criticalSuccess()
 }
 
-func (s *Server) recordIOFailure(name string, block int64, err error) {
+// recordReadFailure logs a failed page-in with the read-path dmesg wording
+// (the kernel reports "async page read" for reads; "lost async page write"
+// is the writeback message and used to be emitted here for both paths).
+func (s *Server) recordReadFailure(name string, block int64, err error) {
 	s.PageInErrors++
+	s.dmesg.Logf(s.clock.Now(), "Buffer I/O error on dev sda1, logical block %d, async page read (%s)", block, name)
+	s.criticalFailure(err)
+}
+
+// recordWriteFailure logs a failed writeback with the write-path dmesg
+// wording. Write failures are counted by their own callers (LogErrors),
+// not in PageInErrors.
+func (s *Server) recordWriteFailure(name string, block int64, err error) {
 	s.dmesg.Logf(s.clock.Now(), "Buffer I/O error on dev sda1, logical block %d, lost async page write (%s)", block, name)
 	s.criticalFailure(err)
 }
@@ -293,7 +304,7 @@ func (s *Server) RunCommand(name string) error {
 	buf := make([]byte, f.Size())
 	if _, err := f.ReadAt(buf, 0); err != nil {
 		s.CommandErrs++
-		s.recordIOFailure(bin, 0, err)
+		s.recordReadFailure(bin, 0, err)
 		return fmt.Errorf("%w: %s: %v", ErrCommandFailed, name, err)
 	}
 	s.criticalSuccess()

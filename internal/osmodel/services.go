@@ -120,7 +120,6 @@ func (s *Server) stepServices() {
 		}
 		svc.nextWork = now.Add(svc.Spec.Interval)
 		if err := s.serviceWork(svc); err != nil {
-			s.recordIOFailure("svc_"+svc.Spec.Name, 0, err)
 			switch svc.State {
 			case ServiceRunning:
 				svc.State = ServiceRestarting
@@ -143,21 +142,26 @@ func (s *Server) stepServices() {
 	}
 }
 
-// serviceWork performs one unit's periodic storage-dependent work.
+// serviceWork performs one unit's periodic storage-dependent work. Each
+// failure is recorded with the dmesg wording of the path that failed:
+// paging in the unit's binary is a read, appending its log is a write.
 func (s *Server) serviceWork(svc *Service) error {
 	bin, err := s.fs.Open("svc_" + svc.Spec.Name)
 	if err != nil {
+		s.recordReadFailure("svc_"+svc.Spec.Name, 0, err)
 		return err
 	}
 	page := make([]byte, jfs.BlockSize)
 	block := int64(svc.logSeq % svc.Spec.BinaryBlocks)
 	if _, err := bin.ReadAt(page, block*jfs.BlockSize); err != nil {
+		s.recordReadFailure("svc_"+svc.Spec.Name, block, err)
 		return err
 	}
 	svc.logSeq++
 	line := fmt.Sprintf("%s %s[%d]: tick %d\n",
 		s.clock.Now().Format("Jan 02 15:04:05"), svc.Spec.Name, 100+svc.logSeq, svc.logSeq)
 	if _, err := s.logFile.Append([]byte(line)); err != nil {
+		s.recordWriteFailure("var_syslog", 0, err)
 		return err
 	}
 	return nil

@@ -8,13 +8,24 @@
 //
 // Levels implemented: RAID-0 (striping), RAID-1 (mirroring), and RAID-5
 // (striping with rotating parity), over any blockdev.Device members.
+//
+// Member failure is governed by an error-threshold Policy: a member is only
+// marked permanently failed after FailThreshold consecutive I/O errors, so
+// a bounded acoustic burst degrades throughput instead of ejecting drives.
+// Chunks whose redundant copies diverged during transient failures are
+// tracked as stale and resilvered by Recover, which also reinstates members
+// that answer again after an attack ends and swaps hot spares (AddSpare)
+// for members that stayed dead, rebuilding their contents from redundancy
+// with progress tracking.
 package raid
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"deepnote/internal/blockdev"
+	"deepnote/internal/metrics"
 )
 
 // Level is the RAID level.
@@ -41,17 +52,87 @@ var (
 // StripeSize is the striping unit in bytes.
 const StripeSize = 64 << 10
 
+// Policy controls when a member's I/O errors become a permanent failure.
+// RAID-0 ignores the threshold: with no redundancy an unreadable chunk is
+// data loss, so the first error fails the member immediately (as mdadm
+// kicks a RAID-0 member on any error).
+type Policy struct {
+	// FailThreshold is the number of consecutive I/O errors after which
+	// a member is marked permanently failed. A successful request resets
+	// the member's streak.
+	FailThreshold int
+}
+
+// DefaultPolicy tolerates short transient bursts: three consecutive errors
+// before a member is ejected.
+func DefaultPolicy() Policy { return Policy{FailThreshold: 3} }
+
+func (p Policy) withDefaults() Policy {
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = DefaultPolicy().FailThreshold
+	}
+	return p
+}
+
+// Stats counts the array's failure-handling activity.
+type Stats struct {
+	// TransientErrors counts member I/O errors absorbed (whether or not
+	// they later crossed the threshold).
+	TransientErrors int64
+	// MemberFailures counts members marked permanently failed.
+	MemberFailures int64
+	// StaleChunks counts chunks marked stale after divergent writes.
+	StaleChunks int64
+	// StaleRepaired counts stale chunks rebuilt from redundancy.
+	StaleRepaired int64
+	// StaleAccepted counts stale chunks cleared by accepting on-media
+	// content because no redundant source was available.
+	StaleAccepted int64
+	// Reinstated counts failed members brought back by Recover probes.
+	Reinstated int64
+	// SparesUsed counts hot spares swapped in for dead members.
+	SparesUsed int64
+	// Rebuilds counts resilver passes that had work to do.
+	Rebuilds int64
+	// RebuildChunks counts chunks written during rebuilds/resilvers.
+	RebuildChunks int64
+}
+
 // Array is a RAID set over block devices.
 type Array struct {
 	level   Level
 	members []blockdev.Device
-	// failed marks members the array has given up on after an I/O error.
+	// failed marks members the array has given up on (threshold crossed).
 	failed []bool
-	size   int64
+	// streak counts consecutive I/O errors per member.
+	streak []int
+	// stale tracks member-local chunk bases whose on-media content
+	// diverged from the array's logical content during a transient
+	// failure; reads avoid them, Recover repairs them.
+	stale []map[int64]struct{}
+	// dirty tracks chunk bases written while a member was failed; on
+	// reinstatement they become stale and are resilvered.
+	dirty []map[int64]struct{}
+	// written tracks every member-local chunk base the array has written,
+	// bounding spare rebuilds to the used footprint.
+	written map[int64]struct{}
+	spares  []blockdev.Device
+	policy  Policy
+	stats   Stats
+	// rebuildDone/rebuildTotal expose progress of the latest resilver.
+	rebuildDone, rebuildTotal int64
+	size                      int64
+	memberSize                int64
 }
 
-// New assembles an array. RAID-0 and RAID-1 need ≥2 members, RAID-5 ≥3.
+// New assembles an array with DefaultPolicy. RAID-0 and RAID-1 need ≥2
+// members, RAID-5 ≥3.
 func New(level Level, members []blockdev.Device) (*Array, error) {
+	return NewWithPolicy(level, members, DefaultPolicy())
+}
+
+// NewWithPolicy assembles an array with an explicit failure policy.
+func NewWithPolicy(level Level, members []blockdev.Device, policy Policy) (*Array, error) {
 	min := 2
 	if level == RAID5 {
 		min = 3
@@ -73,9 +154,19 @@ func New(level Level, members []blockdev.Device) (*Array, error) {
 	}
 	memberSize -= memberSize % StripeSize
 	a := &Array{
-		level:   level,
-		members: members,
-		failed:  make([]bool, len(members)),
+		level:      level,
+		members:    members,
+		failed:     make([]bool, len(members)),
+		streak:     make([]int, len(members)),
+		stale:      make([]map[int64]struct{}, len(members)),
+		dirty:      make([]map[int64]struct{}, len(members)),
+		written:    make(map[int64]struct{}),
+		policy:     policy.withDefaults(),
+		memberSize: memberSize,
+	}
+	for i := range a.stale {
+		a.stale[i] = make(map[int64]struct{})
+		a.dirty[i] = make(map[int64]struct{})
 	}
 	switch level {
 	case RAID0:
@@ -94,6 +185,9 @@ func (a *Array) Size() int64 { return a.size }
 // Level returns the array's RAID level.
 func (a *Array) Level() Level { return a.level }
 
+// Stats returns a copy of the failure-handling counters.
+func (a *Array) Stats() Stats { return a.stats }
+
 // FailedMembers returns the indexes of members marked failed.
 func (a *Array) FailedMembers() []int {
 	var out []int
@@ -103,6 +197,15 @@ func (a *Array) FailedMembers() []int {
 		}
 	}
 	return out
+}
+
+// StaleChunks returns the number of chunks currently awaiting repair.
+func (a *Array) StaleChunks() int {
+	n := 0
+	for _, m := range a.stale {
+		n += len(m)
+	}
+	return n
 }
 
 // Healthy reports whether the array can still serve all I/O.
@@ -118,6 +221,60 @@ func (a *Array) Healthy() bool {
 	}
 	return false
 }
+
+// AddSpare registers a hot spare; Recover swaps spares in for members that
+// stay dead after a probe.
+func (a *Array) AddSpare(dev blockdev.Device) error {
+	if dev.Size() < a.memberSize {
+		return fmt.Errorf("%w: spare of %d bytes smaller than member size %d",
+			ErrBadConfig, dev.Size(), a.memberSize)
+	}
+	a.spares = append(a.spares, dev)
+	return nil
+}
+
+// RebuildProgress returns chunk counts of the most recent resilver pass
+// (total 0 means no rebuild has run).
+func (a *Array) RebuildProgress() (done, total int64) {
+	return a.rebuildDone, a.rebuildTotal
+}
+
+func chunkBase(off int64) int64 { return off - off%StripeSize }
+
+// memberError records one I/O error and fails the member at the threshold.
+func (a *Array) memberError(i int) {
+	a.stats.TransientErrors++
+	a.streak[i]++
+	if a.streak[i] >= a.policy.FailThreshold {
+		a.failMember(i)
+	}
+}
+
+func (a *Array) failMember(i int) {
+	if !a.failed[i] {
+		a.failed[i] = true
+		a.stats.MemberFailures++
+	}
+}
+
+func (a *Array) memberOK(i int) { a.streak[i] = 0 }
+
+func (a *Array) markStale(i int, off int64) {
+	b := chunkBase(off)
+	if _, ok := a.stale[i][b]; !ok {
+		a.stale[i][b] = struct{}{}
+		a.stats.StaleChunks++
+	}
+}
+
+func (a *Array) isStale(i int, off int64) bool {
+	_, ok := a.stale[i][chunkBase(off)]
+	return ok
+}
+
+func (a *Array) clearStale(i int, off int64) { delete(a.stale[i], chunkBase(off)) }
+
+func (a *Array) markDirty(i int, off int64) { a.dirty[i][chunkBase(off)] = struct{}{} }
 
 // stripeOf maps a logical offset to (member, memberOffset) for data, plus
 // the parity member for RAID-5.
@@ -179,52 +336,96 @@ func (a *Array) readChunk(p []byte, off int64) error {
 			return fmt.Errorf("%w: member %d lost and RAID-0 has no redundancy", ErrDegraded, member)
 		}
 		if _, err := a.members[member].ReadAt(p, memberOff); err != nil {
-			a.failed[member] = true
+			a.stats.TransientErrors++
+			a.failMember(member)
 			return fmt.Errorf("%w: member %d: %v", ErrDegraded, member, err)
 		}
+		a.memberOK(member)
 		return nil
 	case RAID1:
 		var lastErr error
+		clean := 0
 		for i, m := range a.members {
-			if a.failed[i] {
+			if a.failed[i] || a.isStale(i, off) {
 				continue
 			}
+			clean++
 			if _, err := m.ReadAt(p, off); err == nil {
+				a.memberOK(i)
 				return nil
 			} else {
-				a.failed[i] = true
+				a.memberError(i)
 				lastErr = err
+			}
+		}
+		if clean == 0 {
+			// Every live mirror holds a stale copy: a common-mode write
+			// failure left consistent pre-write data everywhere, so the
+			// on-media content is the array's content.
+			for i, m := range a.members {
+				if a.failed[i] {
+					continue
+				}
+				if _, err := m.ReadAt(p, off); err == nil {
+					a.memberOK(i)
+					a.stats.StaleAccepted++
+					return nil
+				} else {
+					a.memberError(i)
+					lastErr = err
+				}
 			}
 		}
 		return fmt.Errorf("%w: all mirrors failed: %v", ErrDegraded, lastErr)
 	case RAID5:
-		if !a.failed[member] {
+		if !a.failed[member] && !a.isStale(member, memberOff) {
 			if _, err := a.members[member].ReadAt(p, memberOff); err == nil {
+				a.memberOK(member)
 				return nil
 			}
-			a.failed[member] = true
+			a.memberError(member)
 		}
-		return a.reconstruct(p, member, memberOff, parity)
+		rerr := a.reconstruct(p, member, memberOff)
+		if rerr == nil {
+			return nil
+		}
+		// Reconstruction impossible; if the member itself still answers,
+		// accept on-media content (consistent pre-write data after a
+		// common-mode failure).
+		if !a.failed[member] && a.isStale(member, memberOff) {
+			if _, err := a.members[member].ReadAt(p, memberOff); err == nil {
+				a.memberOK(member)
+				a.stats.StaleAccepted++
+				return nil
+			}
+			a.memberError(member)
+		}
+		_ = parity
+		return rerr
 	}
 	return fmt.Errorf("%w: unsupported level", ErrBadConfig)
 }
 
-// reconstruct rebuilds a RAID-5 chunk by XORing the surviving members.
-func (a *Array) reconstruct(p []byte, lost int, memberOff int64, parity int) error {
-	if len(a.FailedMembers()) > 1 {
-		return fmt.Errorf("%w: %d members down", ErrDegraded, len(a.FailedMembers()))
-	}
-	_ = parity
+// reconstruct rebuilds a RAID-5 chunk by XORing all other members at the
+// same row; every source must be live, non-stale, and readable.
+func (a *Array) reconstruct(p []byte, lost int, memberOff int64) error {
 	zero(p)
 	buf := make([]byte, len(p))
 	for i, m := range a.members {
 		if i == lost {
 			continue
 		}
+		if a.failed[i] {
+			return fmt.Errorf("%w: member %d down during reconstruction", ErrDegraded, i)
+		}
+		if a.isStale(i, memberOff) {
+			return fmt.Errorf("%w: member %d stale at row %d", ErrDegraded, i, chunkBase(memberOff))
+		}
 		if _, err := m.ReadAt(buf, memberOff); err != nil {
-			a.failed[i] = true
+			a.memberError(i)
 			return fmt.Errorf("%w: reconstruction read from member %d: %v", ErrDegraded, i, err)
 		}
+		a.memberOK(i)
 		xorInto(p, buf)
 	}
 	return nil
@@ -247,32 +448,69 @@ func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 	return done, nil
 }
 
+// writeLeg writes one member's share and reports success, maintaining the
+// streak and stale bookkeeping.
+func (a *Array) writeLeg(i int, p []byte, off int64) bool {
+	if _, err := a.members[i].WriteAt(p, off); err != nil {
+		a.memberError(i)
+		if a.failed[i] {
+			a.markDirty(i, off)
+		}
+		return false
+	}
+	a.memberOK(i)
+	a.clearStale(i, off)
+	return true
+}
+
 func (a *Array) writeChunk(p []byte, off int64) error {
 	member, memberOff, parity := a.stripeOf(off)
 	switch a.level {
 	case RAID0:
+		a.written[chunkBase(memberOff)] = struct{}{}
 		if a.failed[member] {
 			return fmt.Errorf("%w: member %d lost", ErrDegraded, member)
 		}
 		if _, err := a.members[member].WriteAt(p, memberOff); err != nil {
-			a.failed[member] = true
+			a.stats.TransientErrors++
+			a.failMember(member)
 			return fmt.Errorf("%w: member %d: %v", ErrDegraded, member, err)
 		}
+		a.memberOK(member)
 		return nil
 	case RAID1:
+		a.written[chunkBase(off)] = struct{}{}
 		ok := 0
+		okMask := make([]bool, len(a.members))
+		var lastErr error
 		for i, m := range a.members {
 			if a.failed[i] {
+				a.markDirty(i, off)
 				continue
 			}
 			if _, err := m.WriteAt(p, off); err != nil {
-				a.failed[i] = true
+				a.memberError(i)
+				if a.failed[i] {
+					a.markDirty(i, off)
+				}
+				lastErr = err
 				continue
 			}
+			a.memberOK(i)
+			a.clearStale(i, off)
+			okMask[i] = true
 			ok++
 		}
 		if ok == 0 {
-			return fmt.Errorf("%w: no mirror accepted the write", ErrDegraded)
+			// No mirror diverged: all hold consistent pre-write data.
+			return fmt.Errorf("%w: no mirror accepted the write: %v", ErrDegraded, lastErr)
+		}
+		// Mirrors that missed an acknowledged write are stale until
+		// resilvered from one that landed it.
+		for i := range a.members {
+			if !okMask[i] && !a.failed[i] {
+				a.markStale(i, off)
+			}
 		}
 		return nil
 	case RAID5:
@@ -281,54 +519,76 @@ func (a *Array) writeChunk(p []byte, off int64) error {
 	return fmt.Errorf("%w: unsupported level", ErrBadConfig)
 }
 
-// writeRAID5 performs read-modify-write parity maintenance.
+// writeRAID5 writes the data leg and recomputes the row's parity from all
+// data members (full-stripe recompute keeps parity correct even when the
+// previous on-media data or parity chunk was stale). When exactly one leg
+// lands, the other chunk is marked stale; when neither lands, media keeps
+// consistent pre-write content and the write reports failure.
 func (a *Array) writeRAID5(p []byte, member int, memberOff int64, parity int) error {
-	if len(a.FailedMembers()) > 1 {
-		return fmt.Errorf("%w: %d members down", ErrDegraded, len(a.FailedMembers()))
+	a.written[chunkBase(memberOff)] = struct{}{}
+	if a.failed[member] {
+		a.markDirty(member, memberOff)
 	}
-	oldData := make([]byte, len(p))
-	oldParity := make([]byte, len(p))
-
-	dataOK := !a.failed[member]
-	parityOK := !a.failed[parity]
-	if dataOK {
-		if _, err := a.members[member].ReadAt(oldData, memberOff); err != nil {
-			a.failed[member] = true
-			dataOK = false
-		}
+	if a.failed[parity] {
+		a.markDirty(parity, memberOff)
 	}
-	if parityOK {
-		// The parity chunk sits at the same row offset on its member.
-		if _, err := a.members[parity].ReadAt(oldParity, memberOff); err != nil {
-			a.failed[parity] = true
-			parityOK = false
-		}
-	}
-	if !dataOK && !parityOK {
+	if a.failed[member] && a.failed[parity] {
 		return fmt.Errorf("%w: data and parity members both down", ErrDegraded)
 	}
-	// New parity = old parity XOR old data XOR new data (when both
-	// legible); with one leg down, write what survives.
-	if dataOK {
-		if _, err := a.members[member].WriteAt(p, memberOff); err != nil {
-			a.failed[member] = true
-			dataOK = false
-		}
+
+	dataW := false
+	if !a.failed[member] {
+		dataW = a.writeLeg(member, p, memberOff)
 	}
-	if parityOK {
+
+	parityW := false
+	if !a.failed[parity] {
+		// New parity = XOR of every data chunk in the row, with the
+		// target chunk at its new content.
 		newParity := make([]byte, len(p))
-		copy(newParity, oldParity)
-		xorInto(newParity, oldData)
-		xorInto(newParity, p)
-		if _, err := a.members[parity].WriteAt(newParity, memberOff); err != nil {
-			a.failed[parity] = true
-			parityOK = false
+		copy(newParity, p)
+		sourcesOK := true
+		for i, m := range a.members {
+			if i == member || i == parity {
+				continue
+			}
+			if a.failed[i] || a.isStale(i, memberOff) {
+				sourcesOK = false
+				break
+			}
+			buf := make([]byte, len(p))
+			if _, err := m.ReadAt(buf, memberOff); err != nil {
+				a.memberError(i)
+				sourcesOK = false
+				break
+			}
+			a.memberOK(i)
+			xorInto(newParity, buf)
+		}
+		if sourcesOK {
+			parityW = a.writeLeg(parity, newParity, memberOff)
 		}
 	}
-	if !dataOK && !parityOK {
+
+	switch {
+	case dataW && parityW:
+		return nil
+	case dataW && !parityW:
+		// Data landed; the parity chunk no longer matches the row.
+		if !a.failed[parity] {
+			a.markStale(parity, memberOff)
+		}
+		return nil
+	case !dataW && parityW:
+		// Parity encodes the new data; the data chunk on media is old and
+		// reads must reconstruct until it is resilvered.
+		if !a.failed[member] {
+			a.markStale(member, memberOff)
+		}
+		return nil
+	default:
 		return fmt.Errorf("%w: write lost both data and parity", ErrDegraded)
 	}
-	return nil
 }
 
 // Flush flushes every healthy member.
@@ -340,17 +600,200 @@ func (a *Array) Flush() error {
 			continue
 		}
 		if err := m.Flush(); err != nil {
-			a.failed[i] = true
+			a.memberError(i)
 			lastErr = err
 			continue
 		}
+		a.memberOK(i)
 		ok++
 	}
-	if !a.Healthy() {
+	if ok == 0 || !a.Healthy() {
 		return fmt.Errorf("%w: flush: %v", ErrDegraded, lastErr)
 	}
-	_ = ok
 	return nil
+}
+
+// RecoverReport summarizes one Recover pass.
+type RecoverReport struct {
+	// Reinstated lists failed members whose device answered the probe.
+	Reinstated []int
+	// SparesSwapped lists member slots replaced by hot spares.
+	SparesSwapped []int
+	// StaleRepaired counts chunks rebuilt from redundancy.
+	StaleRepaired int
+	// StaleAccepted counts chunks cleared by accepting on-media content.
+	StaleAccepted int
+	// StillStale counts chunks that could not be repaired this pass.
+	StillStale int
+	// StillFailed lists members that remain failed.
+	StillFailed []int
+}
+
+// Recover is the post-attack repair pass: probe failed members and
+// reinstate the ones that answer, swap hot spares for the ones that stay
+// dead, then resilver every stale chunk from redundancy. It is safe to call
+// repeatedly; an attack still in progress simply leaves work for the next
+// pass.
+func (a *Array) Recover() RecoverReport {
+	var rep RecoverReport
+	probe := make([]byte, 512)
+	for i := range a.members {
+		if !a.failed[i] {
+			continue
+		}
+		if _, err := a.members[i].ReadAt(probe, 0); err != nil {
+			continue
+		}
+		a.failed[i] = false
+		a.streak[i] = 0
+		a.stats.Reinstated++
+		// Everything written while the member was out is stale on it.
+		for b := range a.dirty[i] {
+			a.markStale(i, b)
+		}
+		a.dirty[i] = make(map[int64]struct{})
+		rep.Reinstated = append(rep.Reinstated, i)
+	}
+	for i := range a.members {
+		if !a.failed[i] || len(a.spares) == 0 {
+			continue
+		}
+		a.members[i] = a.spares[0]
+		a.spares = a.spares[1:]
+		a.failed[i] = false
+		a.streak[i] = 0
+		a.stats.SparesUsed++
+		// The spare is blank: every chunk the array ever wrote must be
+		// rebuilt onto it.
+		a.stale[i] = make(map[int64]struct{})
+		a.dirty[i] = make(map[int64]struct{})
+		for b := range a.written {
+			if b < a.memberSize {
+				a.markStale(i, b)
+			}
+		}
+		rep.SparesSwapped = append(rep.SparesSwapped, i)
+	}
+	rep.StaleRepaired, rep.StaleAccepted = a.resilver()
+	rep.StillStale = a.StaleChunks()
+	rep.StillFailed = a.FailedMembers()
+	return rep
+}
+
+// resilver repairs stale chunks in deterministic order, tracking progress.
+func (a *Array) resilver() (repaired, accepted int) {
+	total := int64(0)
+	for i := range a.members {
+		if !a.failed[i] {
+			total += int64(len(a.stale[i]))
+		}
+	}
+	a.rebuildTotal, a.rebuildDone = total, 0
+	if total == 0 {
+		return 0, 0
+	}
+	a.stats.Rebuilds++
+	for i := range a.members {
+		if a.failed[i] {
+			continue
+		}
+		bases := make([]int64, 0, len(a.stale[i]))
+		for b := range a.stale[i] {
+			bases = append(bases, b)
+		}
+		sort.Slice(bases, func(x, y int) bool { return bases[x] < bases[y] })
+		for _, b := range bases {
+			fixed, fromMedia := a.repairChunk(i, b)
+			if !fixed {
+				continue
+			}
+			delete(a.stale[i], b)
+			a.rebuildDone++
+			if fromMedia {
+				accepted++
+				a.stats.StaleAccepted++
+			} else {
+				repaired++
+				a.stats.StaleRepaired++
+				a.stats.RebuildChunks++
+			}
+		}
+	}
+	return repaired, accepted
+}
+
+// repairChunk rebuilds one member-local chunk from redundancy. fromMedia
+// reports that no redundant source existed and the on-media content was
+// accepted as-is.
+func (a *Array) repairChunk(i int, base int64) (fixed, fromMedia bool) {
+	n := a.memberSize - base
+	if n > StripeSize {
+		n = StripeSize
+	}
+	if n <= 0 {
+		return true, true
+	}
+	buf := make([]byte, n)
+	switch a.level {
+	case RAID1:
+		for j, m := range a.members {
+			if j == i || a.failed[j] || a.isStale(j, base) {
+				continue
+			}
+			if _, err := m.ReadAt(buf, base); err != nil {
+				a.memberError(j)
+				return false, false
+			}
+			a.memberOK(j)
+			if _, err := a.members[i].WriteAt(buf, base); err != nil {
+				a.memberError(i)
+				return false, false
+			}
+			a.memberOK(i)
+			return true, false
+		}
+		// No clean mirror: all copies carry the same pre-write content.
+		return true, true
+	case RAID5:
+		// A member's chunk (data or parity alike) is the XOR of all other
+		// members at the row — the parity invariant.
+		if err := a.reconstruct(buf, i, base); err == nil {
+			if _, werr := a.members[i].WriteAt(buf, base); werr != nil {
+				a.memberError(i)
+				return false, false
+			}
+			a.memberOK(i)
+			return true, false
+		}
+		// No usable sources (another leg stale or down at this row):
+		// accept media rather than block recovery forever.
+		return true, true
+	default: // RAID0: nothing to repair from
+		return true, true
+	}
+}
+
+// PublishMetrics pushes the array's counters into a registry under the
+// "raid." prefix (no-op on a nil registry).
+func (a *Array) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := a.stats
+	reg.Add("raid.transient_errors", s.TransientErrors)
+	reg.Add("raid.member_failures", s.MemberFailures)
+	reg.Add("raid.stale_chunks", s.StaleChunks)
+	reg.Add("raid.stale_repaired", s.StaleRepaired)
+	reg.Add("raid.stale_accepted", s.StaleAccepted)
+	reg.Add("raid.reinstated", s.Reinstated)
+	reg.Add("raid.spares_used", s.SparesUsed)
+	reg.Add("raid.rebuilds", s.Rebuilds)
+	reg.Add("raid.rebuild_chunks", s.RebuildChunks)
+	reg.MaxGauge("raid.members_failed", float64(len(a.FailedMembers())))
+	if a.rebuildTotal > 0 {
+		reg.MaxGauge("raid.rebuild_progress_pct",
+			100*float64(a.rebuildDone)/float64(a.rebuildTotal))
+	}
 }
 
 func zero(p []byte) {
