@@ -13,6 +13,7 @@
 //	deepnote crash  [-target ext4|ubuntu|rocksdb]
 //	deepnote defense [-scenario 1|2|3] [-distance CM]
 //	deepnote stealthgrid [-duration SECONDS] [-workers N]
+//	deepnote selfcheck [-scenario 1|2|3] [-workers N] [-tol FRAC] [-report PATH]
 //	deepnote all
 //
 // Grid-shaped commands (figure2, sweep, fleet, ablation, stealthgrid) fan
@@ -20,8 +21,8 @@
 // the parallelism (0, the default, means one worker per CPU). Results are
 // bit-identical for any worker count.
 //
-// The experiment commands (figure2, table1-3, sweep, range, crash, outage)
-// also accept -metrics PATH and -manifest PATH: the run is instrumented
+// The experiment commands (figure2, table1-3, sweep, range, crash, outage,
+// selfcheck) also accept -metrics PATH and -manifest PATH: the run is instrumented
 // with per-layer counters (hdd, blockdev, fio, jfs, kvdb, osmodel, attack,
 // parallel, experiment), the snapshot/manifest is written as JSON, and a
 // per-layer summary table goes to stderr. Instrumentation never touches
@@ -100,6 +101,8 @@ func main() {
 		err = cmdAdaptive(args)
 	case "integrity":
 		err = cmdIntegrity(args)
+	case "selfcheck":
+		err = cmdSelfCheck(args)
 	case "bench":
 		err = cmdBench(args)
 	case "all":
@@ -143,10 +146,11 @@ commands:
   fleet     facility availability vs attacker speaker count
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
+  selfcheck differential check: analytic oracle vs Monte-Carlo simulation
   bench     host-time benchmark snapshot of the key experiments (JSON)
   all       regenerate every paper artifact
 
-observability (figure2, table1-3, sweep, range, crash, outage, resilience):
+observability (figure2, table1-3, sweep, range, crash, outage, resilience, selfcheck):
   -metrics PATH   write a per-layer metrics snapshot JSON
   -manifest PATH  write a run manifest JSON (spec, seed, git, metrics)`)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"deepnote/internal/experiment"
+	"deepnote/internal/oracle"
+)
+
+// cmdSelfCheck runs the oracle-vs-simulation differential harness over the
+// §4.1 grid and renders the per-cell divergence table. It exits non-zero
+// when any cell diverges beyond tolerance, so CI can gate on it.
+func cmdSelfCheck(args []string) error {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	scenario := fs.Int("scenario", 2, "testbed scenario 1, 2, or 3")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	tol := fs.Float64("tol", 0, "max per-cell divergence (0 = harness default)")
+	runtime := fs.Duration("runtime", 0, "per-cell simulation window in virtual time (0 = harness default)")
+	repeats := fs.Int("repeats", 0, "seeded simulations averaged per cell (0 = harness default)")
+	seed := fs.Int64("seed", 1, "run seed")
+	reportPath := fs.String("report", "", "write the divergence report JSON to this path")
+	mutant := fs.String("mutant", "", "seed a known predictor bug: flat-hold-window, whole-request-window, or full-base-on-failure")
+	o := addObsFlags(fs)
+	fs.Parse(args)
+	sc, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	mut, err := parseMutation(*mutant)
+	if err != nil {
+		return err
+	}
+	rep, err := experiment.SelfCheck(experiment.SelfCheckOptions{
+		Scenario:   sc,
+		Workers:    *workers,
+		Tolerance:  *tol,
+		JobRuntime: *runtime,
+		Repeats:    *repeats,
+		Seed:       *seed,
+		Mutation:   mut,
+		Metrics:    o.registry(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table().String())
+	fmt.Printf("cells %d, failures %d, max divergence %.1f%% (tolerance %.0f%%)\n",
+		len(rep.Cells), rep.Failures, rep.MaxDivergence*100, rep.Tolerance*100)
+	if *reportPath != "" {
+		if err := oracle.WriteReport(*reportPath, rep); err != nil {
+			return err
+		}
+	}
+	if err := o.finish("selfcheck", args, *seed, *workers); err != nil {
+		return err
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("%d of %d cells diverged beyond %.0f%% tolerance",
+			rep.Failures, len(rep.Cells), rep.Tolerance*100)
+	}
+	return nil
+}
+
+func parseMutation(s string) (oracle.Mutation, error) {
+	switch s {
+	case "":
+		return oracle.MutNone, nil
+	case "flat-hold-window":
+		return oracle.MutFlatHoldWindow, nil
+	case "whole-request-window":
+		return oracle.MutWholeRequestWindow, nil
+	case "full-base-on-failure":
+		return oracle.MutFullBaseOnFailure, nil
+	default:
+		return oracle.MutNone, fmt.Errorf("unknown mutant %q", s)
+	}
+}

@@ -1,0 +1,134 @@
+// Analytic sweep planning: before spending simulated (or real) attack
+// time, the attacker can ask the closed-form oracle which frequencies
+// should collapse the victim's throughput. A predicted sweep costs
+// microseconds per frequency instead of a full fio run, so it serves both
+// as reconnaissance planning and as a cross-check of measured sweeps.
+
+package attack
+
+import (
+	"context"
+	"fmt"
+
+	"deepnote/internal/core"
+	"deepnote/internal/fio"
+	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
+	"deepnote/internal/oracle"
+	"deepnote/internal/parallel"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// PredictedPoint is one analytically evaluated sweep frequency.
+type PredictedPoint struct {
+	Freq units.Frequency
+	// ThroughputMBps is the oracle's steady-state throughput prediction.
+	ThroughputMBps float64
+	// Baseline is the oracle's quiet prediction for the same workload.
+	Baseline float64
+}
+
+// Degradation returns the predicted fractional throughput loss.
+func (p PredictedPoint) Degradation() float64 {
+	if p.Baseline <= 0 {
+		return 0
+	}
+	d := 1 - p.ThroughputMBps/p.Baseline
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// PredictedSweep is the analytic counterpart of a SweepResult.
+type PredictedSweep struct {
+	Scenario   core.Scenario
+	Pattern    fio.Pattern
+	Points     []PredictedPoint
+	Vulnerable []units.Frequency
+	Bands      []sig.Band
+}
+
+// Predictor evaluates sweep plans analytically against a scenario.
+type Predictor struct {
+	// Scenario and Distance fix the testbed geometry, as for Sweeper.
+	Scenario core.Scenario
+	Distance units.Distance
+	// Plan is the sweep schedule (defaults to the paper's sweep; only the
+	// coarse pass is evaluated — analytic points are cheap enough to skip
+	// the two-phase refinement).
+	Plan sig.SweepPlan
+	// DegradationThreshold marks a frequency vulnerable (default 0.5).
+	DegradationThreshold float64
+	// BlockSize is the workload's request size (default the paper job's
+	// 4 KiB).
+	BlockSize int64
+	// Workers bounds concurrent evaluations; ≤ 0 means one per CPU.
+	Workers int
+	// Metrics, when set, receives "attack.predicted_*" outcome counters.
+	Metrics *metrics.Registry
+}
+
+func (p Predictor) withDefaults() Predictor {
+	if p.Plan.CoarseStep == 0 {
+		p.Plan = sig.PaperSweep()
+	}
+	if p.DegradationThreshold == 0 {
+		p.DegradationThreshold = 0.5
+	}
+	if p.Distance == 0 {
+		p.Distance = 1 * units.Centimeter
+	}
+	if p.BlockSize == 0 {
+		p.BlockSize = 4096
+	}
+	return p
+}
+
+// Run evaluates the plan's coarse frequencies through the acoustic chain
+// and the oracle and coalesces the predicted vulnerable band.
+func (p Predictor) Run(pattern fio.Pattern) (PredictedSweep, error) {
+	p = p.withDefaults()
+	tb, err := core.NewTestbed(p.Scenario, p.Distance)
+	if err != nil {
+		return PredictedSweep{}, err
+	}
+	op := hdd.OpRead
+	if pattern == fio.SeqWrite || pattern == fio.RandWrite {
+		op = hdd.OpWrite
+	}
+	quiet, err := oracle.Predict(oracle.Input{
+		Model: tb.DriveModel, Vib: hdd.Quiet(), Op: op, BlockSize: p.BlockSize,
+	})
+	if err != nil {
+		return PredictedSweep{}, err
+	}
+
+	freqs := p.Plan.CoarseFrequencies()
+	points, err := parallel.RunObserved(context.Background(), freqs, p.Workers, p.Metrics,
+		func(_ context.Context, _ int, f units.Frequency) (PredictedPoint, error) {
+			vib := tb.VibrationFor(sig.NewTone(f))
+			pred, err := oracle.Predict(oracle.Input{
+				Model: tb.DriveModel, Vib: vib, Op: op, BlockSize: p.BlockSize,
+			})
+			if err != nil {
+				return PredictedPoint{}, fmt.Errorf("attack: predict %v: %w", f, err)
+			}
+			return PredictedPoint{Freq: f, ThroughputMBps: pred.ThroughputMBps, Baseline: quiet.ThroughputMBps}, nil
+		})
+	if err != nil {
+		return PredictedSweep{}, err
+	}
+
+	res := PredictedSweep{Scenario: p.Scenario, Pattern: pattern, Points: points}
+	for _, pt := range points {
+		if pt.Degradation() >= p.DegradationThreshold {
+			res.Vulnerable = append(res.Vulnerable, pt.Freq)
+		}
+	}
+	res.Bands = sig.CoalesceBands(res.Vulnerable, p.Plan.CoarseStep)
+	p.Metrics.Add("attack.predicted_points", int64(len(points)))
+	p.Metrics.Add("attack.predicted_vulnerable", int64(len(res.Vulnerable)))
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"deepnote/internal/core"
+	"deepnote/internal/fio"
+	"deepnote/internal/metrics"
+	"deepnote/internal/units"
+)
+
+// TestPredictedSweepFindsPaperBand checks the analytic sweep against the
+// paper's headline result: a write workload in Scenario 2 collapses around
+// 650 Hz.
+func TestPredictedSweepFindsPaperBand(t *testing.T) {
+	p := Predictor{Scenario: core.Scenario2, Plan: fastPlan()}
+	res, err := p.Run(fio.SeqWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bands) == 0 {
+		t.Fatal("analytic sweep predicted no vulnerable bands")
+	}
+	if !res.Bands[0].Contains(650 * units.Hz) {
+		t.Fatalf("650 Hz not in predicted band %v", res.Bands[0])
+	}
+}
+
+// TestPredictedSweepAgreesWithMeasured cross-checks the two sweep engines:
+// the analytic and the simulated coarse pass must agree on which
+// frequencies are vulnerable up to band-edge slack.
+func TestPredictedSweepAgreesWithMeasured(t *testing.T) {
+	plan := fastPlan()
+	pred, err := Predictor{Scenario: core.Scenario2, Plan: plan}.Run(fio.SeqWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := Sweeper{Scenario: core.Scenario2, Plan: plan, JobRuntime: 300 * time.Millisecond}.Run(fio.SeqWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Bands) == 0 || len(meas.Bands) == 0 {
+		t.Fatalf("missing bands: predicted %v, measured %v", pred.Bands, meas.Bands)
+	}
+	slack := 2 * plan.CoarseStep
+	pb, mb := pred.Bands[0], meas.Bands[0]
+	if pb.Low > mb.Low+slack || pb.Low+slack < mb.Low {
+		t.Errorf("band low edges disagree: predicted %v, measured %v", pb.Low, mb.Low)
+	}
+	if pb.High > mb.High+slack || pb.High+slack < mb.High {
+		t.Errorf("band high edges disagree: predicted %v, measured %v", pb.High, mb.High)
+	}
+}
+
+// TestPredictorPublishesMetrics checks the observability counters.
+func TestPredictorPublishesMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := Predictor{Scenario: core.Scenario2, Plan: fastPlan(), Metrics: reg}
+	if _, err := p.Run(fio.SeqRead); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["attack.predicted_points"] == 0 {
+		t.Fatalf("predictor published no point counters: %v", snap.Counters)
+	}
+}

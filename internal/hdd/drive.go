@@ -39,7 +39,19 @@ var (
 	ErrHeadsParked = errors.New("hdd: heads parked by shock sensor")
 	// ErrOutOfRange is returned for accesses beyond the drive capacity.
 	ErrOutOfRange = errors.New("hdd: access beyond device capacity")
+	// ErrCompositeVibration is returned by the success-probability
+	// predictors for multi-partial excitations: their peak statistics
+	// have no closed form, so callers must fall back to simulation
+	// (Drive.Access evaluates composites numerically).
+	ErrCompositeVibration = errors.New("hdd: success probability undefined for composite vibrations")
 )
+
+// ChunkBytes is the service granularity of the drive: Access splits every
+// request into independent ChunkBytes-sized chunks (roughly one servo
+// sector), each of which must hold track for its own transfer window and
+// retries on its own. The success-probability predictors and the analytic
+// throughput oracle mirror this granularity.
+const ChunkBytes = 4096
 
 // Partial is one spectral component of a composite excitation.
 type Partial struct {
@@ -220,7 +232,6 @@ func (d *Drive) Access(op Op, offset, length int64) Result {
 		return Result{Latency: rejectCost, Err: ErrHeadsParked}
 	}
 
-	base := d.baseTime(op, offset, length)
 	threshold := d.model.ReadFaultFrac
 	retryCost := d.model.RetryRead
 	if op == OpWrite {
@@ -229,20 +240,22 @@ func (d *Drive) Access(op Op, offset, length int64) Result {
 	}
 
 	// The drive services a request chunk by chunk (roughly one servo
-	// sector at a time): each chunk must hold track for its own transfer
-	// plus the wedge window, and each chunk retries independently. Large
-	// sequential requests therefore crawl rather than atomically fail
-	// under moderate vibration.
-	const chunkBytes = 4096
-	total := base
+	// sector at a time): each chunk must hold track for its own zoned
+	// transfer plus the wedge window, and each chunk retries
+	// independently. Large sequential requests therefore crawl rather
+	// than atomically fail under moderate vibration. Media transfer is
+	// charged per completed chunk, so an operation that times out partway
+	// through pays only for the work it actually performed.
+	total := d.fixedTime(op, offset)
 	totalRetries := 0
 	var corruptions []int64
-	for done := int64(0); done < length; done += chunkBytes {
+	for done := int64(0); done < length; done += ChunkBytes {
 		chunk := length - done
-		if chunk > chunkBytes {
-			chunk = chunkBytes
+		if chunk > ChunkBytes {
+			chunk = ChunkBytes
 		}
-		hold := d.model.TransferTime(chunk) + d.model.WedgeWindow
+		transfer := d.model.TransferTimeAt(offset+done, chunk)
+		hold := transfer + d.model.WedgeWindow
 		for attempt := 0; ; attempt++ {
 			if attempt > 0 {
 				total += retryCost
@@ -251,6 +264,7 @@ func (d *Drive) Access(op Op, offset, length int64) Result {
 			}
 			ok, peakFrac := d.attemptHoldsTrack(threshold, hold)
 			if ok {
+				total += transfer
 				// The integrity surface: a write that squeaked through
 				// near the gate may have squeezed the adjacent track.
 				if op == OpWrite && d.model.AdjacentCorruptionProb > 0 &&
@@ -293,12 +307,13 @@ func (d *Drive) adjacentOffset(offset int64) int64 {
 	return -1
 }
 
-// baseTime is the no-fault service time: overhead, plus seek and rotational
-// latency when the access is not sequential with the previous one, plus
-// media transfer. Seeks cost by travel distance; reads pay a half-revolution
-// average rotational latency while writes pay far less because the on-drive
-// write-back cache acknowledges and reorders them.
-func (d *Drive) baseTime(op Op, offset, length int64) time.Duration {
+// fixedTime is the positioning cost of an access before any media transfer:
+// overhead, plus seek and rotational latency when the access is not
+// sequential with the previous one. Seeks cost by travel distance; reads pay
+// a half-revolution average rotational latency while writes pay far less
+// because the on-drive write-back cache acknowledges and reorders them.
+// Media transfer is charged separately, per completed chunk.
+func (d *Drive) fixedTime(op Op, offset int64) time.Duration {
 	t := d.model.ReadOverhead
 	if op == OpWrite {
 		t = d.model.WriteOverhead
@@ -312,7 +327,7 @@ func (d *Drive) baseTime(op Op, offset, length int64) time.Duration {
 			t += d.model.RevolutionPeriod() / 8
 		}
 	}
-	return t + d.model.TransferTimeAt(offset, length)
+	return t
 }
 
 // attemptHoldsTrack decides whether one positioning attempt keeps the head
@@ -367,6 +382,13 @@ func (d *Drive) compositeHoldsTrack(threshold float64, hold time.Duration, jitte
 	return total < threshold, total / threshold
 }
 
+// MaxAbsSinOver returns max(|sin θ|) for θ in [phase, phase+width] — the
+// peak excursion factor of a sinusoidal disturbance observed over a hold
+// window of width radians starting at the given phase. It is exported so
+// the analytic throughput oracle integrates over the exact same window
+// geometry the drive's attempt model uses.
+func MaxAbsSinOver(phase, width float64) float64 { return maxAbsSinOver(phase, width) }
+
 // maxAbsSinOver returns max(|sin θ|) for θ in [phase, phase+width].
 func maxAbsSinOver(phase, width float64) float64 {
 	if width >= math.Pi {
@@ -410,10 +432,24 @@ func (d *Drive) countError(op Op) {
 }
 
 // SuccessProbability estimates, by Monte Carlo with the drive's own RNG
-// untouched, the per-attempt probability that an op of the given transfer
-// length holds track under vibration v. It is a diagnostic used by tests
-// and by the analytic throughput predictor.
-func (m Model) SuccessProbability(op Op, v Vibration, length int64, trials int, seed int64) float64 {
+// untouched, the probability that a single positioning attempt per chunk
+// completes an op of the given transfer length at offset 0 under vibration
+// v — i.e. that the op succeeds with zero retries. It mirrors Drive.Access
+// exactly: the op is split into independent ChunkBytes chunks, each with
+// its own zoned hold window, and the op succeeds only if every chunk holds
+// (success = product over chunks). Composite (multi-partial) vibrations
+// return ErrCompositeVibration; callers must fall back to simulation.
+func (m Model) SuccessProbability(op Op, v Vibration, length int64, trials int, seed int64) (float64, error) {
+	return m.SuccessProbabilityAt(op, v, 0, length, trials, seed)
+}
+
+// SuccessProbabilityAt is SuccessProbability at an explicit byte offset,
+// honoring zoned recording: inner-track chunks transfer slower, hold track
+// longer, and therefore fail more often at equal excitation.
+func (m Model) SuccessProbabilityAt(op Op, v Vibration, offset, length int64, trials int, seed int64) (float64, error) {
+	if v.isComposite() {
+		return 0, ErrCompositeVibration
+	}
 	if trials <= 0 {
 		trials = 2000
 	}
@@ -422,22 +458,39 @@ func (m Model) SuccessProbability(op Op, v Vibration, length int64, trials int, 
 		threshold = m.WriteFaultFrac
 	}
 	if v.Amplitude >= m.ServoLockFrac {
-		return 0
+		return 0, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	sigma := m.BaseJitterFrac + v.ExtraJitter
-	window := v.Freq.AngularVelocity() * (m.TransferTime(length) + m.WedgeWindow).Seconds()
+	// Per-chunk angular hold windows, mirroring Drive.Access's service
+	// granularity and zoned transfer timing.
+	var windows []float64
+	for done := int64(0); done < length; done += ChunkBytes {
+		chunk := length - done
+		if chunk > ChunkBytes {
+			chunk = ChunkBytes
+		}
+		hold := m.TransferTimeAt(offset+done, chunk) + m.WedgeWindow
+		windows = append(windows, v.Freq.AngularVelocity()*hold.Seconds())
+	}
 	ok := 0
 	for i := 0; i < trials; i++ {
-		jitter := math.Abs(rng.NormFloat64()) * sigma
-		peak := 0.0
-		if v.Amplitude > 0 {
-			phase := rng.Float64() * 2 * math.Pi
-			peak = v.Amplitude * maxAbsSinOver(phase, window)
+		holds := true
+		for _, w := range windows {
+			jitter := math.Abs(rng.NormFloat64()) * sigma
+			peak := jitter
+			if v.Amplitude > 0 {
+				phase := rng.Float64() * 2 * math.Pi
+				peak = v.Amplitude*maxAbsSinOver(phase, w) + jitter
+			}
+			if peak >= threshold {
+				holds = false
+				break
+			}
 		}
-		if peak+jitter < threshold {
+		if holds {
 			ok++
 		}
 	}
-	return float64(ok) / float64(trials)
+	return float64(ok) / float64(trials), nil
 }

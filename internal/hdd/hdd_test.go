@@ -192,8 +192,14 @@ func TestWritesFailBeforeReads(t *testing.T) {
 	// asymmetry (§4.1).
 	m := Barracuda500()
 	v := Vibration{Freq: 650, Amplitude: 0.2} // above 0.15 write, below 0.26 read
-	pw := m.SuccessProbability(OpWrite, v, 4096, 4000, 7)
-	pr := m.SuccessProbability(OpRead, v, 4096, 4000, 7)
+	pw, err := m.SuccessProbability(OpWrite, v, 4096, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := m.SuccessProbability(OpRead, v, 4096, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pw >= pr {
 		t.Fatalf("write success %v should be below read success %v", pw, pr)
 	}
@@ -206,7 +212,10 @@ func TestSuccessProbabilityMonotoneInAmplitude(t *testing.T) {
 	m := Barracuda500()
 	prev := 1.1
 	for _, a := range []float64{0, 0.05, 0.15, 0.25, 0.5, 1, 3} {
-		p := m.SuccessProbability(OpWrite, Vibration{Freq: 650, Amplitude: a}, 4096, 6000, 11)
+		p, err := m.SuccessProbability(OpWrite, Vibration{Freq: 650, Amplitude: a}, 4096, 6000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if p > prev+0.02 {
 			t.Fatalf("success probability rose with amplitude at %v: %v > %v", a, p, prev)
 		}

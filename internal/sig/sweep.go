@@ -148,10 +148,10 @@ func (b Band) Overlaps(o Band) bool { return b.Low <= o.High && o.Low <= b.High 
 // String renders the band.
 func (b Band) String() string { return fmt.Sprintf("[%v, %v]", b.Low, b.High) }
 
-// CoalesceBands merges a set of frequencies (assumed sorted ascending) into
-// contiguous bands: consecutive frequencies closer than maxGap belong to the
-// same band. It is how sweep results become "vulnerable from 300 Hz to
-// 1.3 kHz" style statements.
+// CoalesceBands merges a set of frequencies, in any order, into contiguous
+// bands: after sorting a copy, consecutive frequencies closer than maxGap
+// belong to the same band. It is how sweep results become "vulnerable from
+// 300 Hz to 1.3 kHz" style statements. The input slice is not modified.
 func CoalesceBands(freqs []units.Frequency, maxGap units.Frequency) []Band {
 	if len(freqs) == 0 {
 		return nil
