@@ -42,7 +42,7 @@ type benchSnapshot struct {
 // quantifies the metrics layer's overhead.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_pr2.json", "output JSON path")
+	out := fs.String("out", "BENCH_pr5.json", "output JSON path")
 	quick := fs.Bool("quick", false, "shrink workloads (CI mode)")
 	fs.Parse(args)
 
@@ -109,6 +109,26 @@ func cmdBench(args []string) error {
 	if err := timeIt("crash_ext4", func() error {
 		_, err := attack.ProlongedAttack{}.Run(attack.TargetExt4)
 		return err
+	}); err != nil {
+		return err
+	}
+	clusterSpec := experiment.ClusterSpec{Requests: 240, Rate: 500}
+	if *quick {
+		clusterSpec = experiment.ClusterSpec{MaxSpeakers: 3, Objects: 16,
+			ObjectSize: 8 << 10, Requests: 120, Rate: 500}
+	}
+	if err := timeIt("cluster_serve", func() error {
+		rows, err := experiment.ClusterSweep(clusterSpec)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if r.Serve.CorruptReads != 0 {
+				return fmt.Errorf("cluster bench: %d corrupt reads at speakers=%d",
+					r.Serve.CorruptReads, r.Speakers)
+			}
+		}
+		return nil
 	}); err != nil {
 		return err
 	}

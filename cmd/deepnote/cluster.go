@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"deepnote/internal/experiment"
+	"deepnote/internal/units"
+)
+
+// cmdCluster runs the facility-scale campaign: an erasure-coded
+// underwater datacenter serving open-loop client traffic while an
+// attacker ladder silences failure domains one point-blank speaker at a
+// time. Stdout is byte-identical for any -workers value and with
+// metrics on or off.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	containers := fs.Int("containers", 6, "container count (failure domains)")
+	drives := fs.Int("drives", 1, "drives per container")
+	data := fs.Int("data", 4, "data shards per stripe (k)")
+	parity := fs.Int("parity", 2, "parity shards per stripe (m)")
+	objects := fs.Int("objects", 24, "objects in the keyspace")
+	objSize := fs.Int("objsize", 16<<10, "object size in bytes")
+	spacing := fs.Float64("spacing", 2, "container spacing in meters")
+	freq := fs.Float64("freq", 650, "attack tone in Hz")
+	speakers := fs.Int("speakers", 0, "top of the speaker ladder (0 = one per container)")
+	requests := fs.Int("requests", 240, "client requests per cell")
+	rate := fs.Float64("rate", 250, "client arrival rate (requests/second)")
+	readFrac := fs.Float64("readfrac", 0.9, "GET fraction of the workload")
+	attackStart := fs.Float64("attack-start", 0.25, "attack-on point as a fraction of the request window")
+	attackStop := fs.Float64("attack-stop", 0.75, "attack-off point as a fraction of the window (>= 1: never off)")
+	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	o := addObsFlags(fs)
+	fs.Parse(args)
+
+	spec := experiment.ClusterSpec{
+		Containers:         *containers,
+		DrivesPerContainer: *drives,
+		DataShards:         *data,
+		ParityShards:       *parity,
+		Objects:            *objects,
+		ObjectSize:         *objSize,
+		Spacing:            units.Distance(*spacing) * units.Meter,
+		Freq:               units.Frequency(*freq),
+		MaxSpeakers:        *speakers,
+		Requests:           *requests,
+		Rate:               *rate,
+		ReadFraction:       *readFrac,
+		AttackStartFrac:    *attackStart,
+		AttackStopFrac:     *attackStop,
+		Seed:               *seed,
+		Workers:            *workers,
+		Metrics:            o.registry(),
+	}
+	rows, err := experiment.ClusterSweep(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d containers x %d drives, %d-of-%d stripes, %d x %d B objects\n",
+		*containers, *drives, *data, *data+*parity,
+		*objects, *objSize)
+	fmt.Printf("traffic: %d requests at %.0f req/s (%.0f%% GET), attack window [%.2f, %.2f] of run\n",
+		*requests, *rate, *readFrac*100, *attackStart, *attackStop)
+	fmt.Print(experiment.ClusterReport(rows).String())
+	fmt.Println("reading the ladder: with one shard per failure domain, GET availability")
+	fmt.Printf("holds at 100%% (served from parity, degraded) until more than m=%d containers\n", *parity)
+	fmt.Println("are silenced at once; durability margin and tail latency erode first.")
+	return o.finish("cluster", args, *seed, *workers)
+}

@@ -9,6 +9,7 @@
 //	deepnote table3
 //	deepnote sweep  [-scenario 1|2|3] [-pattern write|read] [-workers N]
 //	deepnote fleet  [-containers N] [-drives N] [-spacing M] [-workers N]
+//	deepnote cluster [-containers N] [-data K] [-parity M] [-speakers N] [-workers N]
 //	deepnote range  [-scenario 1|2|3] [-freq HZ]
 //	deepnote crash  [-target ext4|ubuntu|rocksdb]
 //	deepnote defense [-scenario 1|2|3] [-distance CM]
@@ -16,7 +17,8 @@
 //	deepnote selfcheck [-scenario 1|2|3] [-workers N] [-tol FRAC] [-report PATH]
 //	deepnote all
 //
-// Grid-shaped commands (figure2, sweep, fleet, ablation, stealthgrid) fan
+// Grid-shaped commands (figure2, sweep, fleet, cluster, ablation,
+// stealthgrid) fan
 // their independent simulation cells over a worker pool; -workers N bounds
 // the parallelism (0, the default, means one worker per CPU). Results are
 // bit-identical for any worker count.
@@ -97,6 +99,8 @@ func main() {
 		err = cmdUltrasonic(args)
 	case "fleet":
 		err = cmdFleet(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
 	case "integrity":
@@ -144,13 +148,14 @@ commands:
   resilience  prolonged attack vs hardening ladder (bare / watchdog / hardened)
   ultrasonic  shock-sensor vector reachability through the enclosure
   fleet     facility availability vs attacker speaker count
+  cluster   erasure-coded datacenter serving traffic under a speaker ladder
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
   selfcheck differential check: analytic oracle vs Monte-Carlo simulation
   bench     host-time benchmark snapshot of the key experiments (JSON)
   all       regenerate every paper artifact
 
-observability (figure2, table1-3, sweep, range, crash, outage, resilience, selfcheck):
+observability (figure2, table1-3, sweep, range, crash, outage, resilience, selfcheck, stealthgrid, cluster):
   -metrics PATH   write a per-layer metrics snapshot JSON
   -manifest PATH  write a run manifest JSON (spec, seed, git, metrics)`)
 }
@@ -545,17 +550,23 @@ func cmdStealth(args []string) error {
 func cmdStealthGrid(args []string) error {
 	fs := flag.NewFlagSet("stealthgrid", flag.ExitOnError)
 	duration := fs.Float64("duration", 60, "campaign length per cell in virtual seconds")
+	seed := fs.Int64("seed", 1, "base seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	o := addObsFlags(fs)
 	fs.Parse(args)
 	rows, err := campaign.Grid{
-		Base:    campaign.Stealth{Duration: time.Duration(*duration * float64(time.Second))},
+		Base: campaign.Stealth{
+			Duration: time.Duration(*duration * float64(time.Second)),
+			Seed:     *seed,
+		},
 		Workers: *workers,
+		Metrics: o.registry(),
 	}.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Print(campaign.GridReport(rows).String())
-	return nil
+	return o.finish("stealthgrid", args, *seed, *workers)
 }
 
 func cmdAblation(args []string) error {

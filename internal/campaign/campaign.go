@@ -11,6 +11,7 @@ import (
 
 	"deepnote/internal/core"
 	"deepnote/internal/detect"
+	"deepnote/internal/metrics"
 	"deepnote/internal/sig"
 	"deepnote/internal/trace"
 	"deepnote/internal/units"
@@ -43,6 +44,10 @@ type Stealth struct {
 	// Detector tunes the victim's monitoring.
 	Detector detect.Config
 	Seed     int64
+	// Metrics receives campaign and per-layer counters when non-nil.
+	// Publishing happens after the run completes, so instrumentation
+	// never perturbs the simulation.
+	Metrics *metrics.Registry
 }
 
 func (s Stealth) withDefaults() Stealth {
@@ -114,7 +119,9 @@ func (s Stealth) Run() (Result, error) {
 	// Baseline phase: train the detector, measure healthy throughput.
 	baselineWindow := 5 * time.Second
 	writeFor(baselineWindow)
-	res := Result{Spec: s, BaselineMBps: meter.MeanMBps(0, baselineWindow)}
+	spec := s
+	spec.Metrics = nil // the registry is plumbing, not a campaign parameter
+	res := Result{Spec: spec, BaselineMBps: meter.MeanMBps(0, baselineWindow)}
 	if res.BaselineMBps <= 0 {
 		return res, fmt.Errorf("campaign: baseline produced no throughput")
 	}
@@ -122,9 +129,11 @@ func (s Stealth) Run() (Result, error) {
 	// Campaign phase.
 	start := rig.Clock.Now()
 	maxSuspicion := 0.0
+	bursts := 0
 	tone := sig.NewTone(s.Freq)
 	for rig.Clock.Now().Sub(start) < s.Duration {
 		rig.ApplyTone(tone)
+		bursts++
 		onDeadline := rig.Clock.Now().Add(s.Duty.On)
 		for rig.Clock.Now().Before(onDeadline) {
 			writeOnce()
@@ -154,5 +163,21 @@ func (s Stealth) Run() (Result, error) {
 	res.Alarms = mon.Detector().Alarms
 	res.MaxSuspicion = maxSuspicion
 	res.Timeline = meter.Buckets()
+	s.publishMetrics(rig, res, bursts)
 	return res, nil
+}
+
+// publishMetrics folds the finished campaign into the registry: the
+// attacker-side accounting plus the victim rig's drive and disk layers.
+// Everything published is a pure function of the (already deterministic)
+// result, so snapshots merge identically at any worker count.
+func (s Stealth) publishMetrics(rig *core.Rig, res Result, bursts int) {
+	reg := s.Metrics
+	reg.Add("campaign.runs", 1)
+	reg.Add("campaign.bursts", int64(bursts))
+	reg.Add("campaign.alarms", int64(res.Alarms))
+	reg.MaxGauge("campaign.max_suspicion", res.MaxSuspicion)
+	reg.MaxGauge("campaign.max_loss_fraction", res.LossFraction)
+	rig.Drive.PublishMetrics(reg)
+	rig.Disk.PublishMetrics(reg)
 }

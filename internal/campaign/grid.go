@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"deepnote/internal/metrics"
 	"deepnote/internal/parallel"
 	"deepnote/internal/report"
 )
@@ -26,6 +27,10 @@ type Grid struct {
 	// Workers bounds how many cells run concurrently; ≤ 0 means one
 	// worker per CPU.
 	Workers int
+	// Metrics receives engine, campaign, and per-layer counters when
+	// non-nil; per-cell publishes merge commutatively, so the snapshot is
+	// identical for any Workers value.
+	Metrics *metrics.Registry
 }
 
 func (g Grid) withDefaults() Grid {
@@ -54,12 +59,17 @@ func (g Grid) Run() ([]Result, error) {
 			cells = append(cells, cell{duty: DutyCycle{On: on, Off: off}})
 		}
 	}
-	return parallel.Run(context.Background(), cells, g.Workers,
+	return parallel.RunObserved(context.Background(), cells, g.Workers, g.Metrics,
 		func(_ context.Context, i int, c cell) (Result, error) {
 			s := g.Base
 			s.Duty = c.duty
 			s.Seed = parallel.SeedFor(g.Base.Seed, i)
-			return s.Run()
+			s.Metrics = g.Metrics
+			res, err := s.Run()
+			if err == nil {
+				g.Metrics.Add("campaign.grid_cells", 1)
+			}
+			return res, err
 		})
 }
 

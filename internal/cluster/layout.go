@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"deepnote/internal/acoustics"
+	"deepnote/internal/core"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/hdd"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+	"deepnote/internal/water"
+)
+
+// Vec3 is a position in meters. The water surface (when modeled) is the
+// plane above everything; SurfaceDepth on the Layout sets how far below
+// it the deployment sits.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Sub returns v − o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Norm returns the Euclidean length in meters.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
+
+// Between returns the distance between two points.
+func Between(a, b Vec3) units.Distance { return units.Distance(a.Sub(b).Norm()) }
+
+// ContainerSite is one submerged container (a failure domain) at a fixed
+// position. Its Scenario selects the structural path (container material
+// and mounting) for every drive inside it.
+type ContainerSite struct {
+	Name     string
+	Pos      Vec3
+	Scenario core.Scenario
+}
+
+// SpeakerSite is one attacker speaker (amplifier + underwater projector)
+// at a fixed position, emitting its tone when keyed on.
+type SpeakerSite struct {
+	Name string
+	Pos  Vec3
+	Tone sig.Tone
+}
+
+// PointBlank is the minimum physical speaker-to-wall distance: the
+// speaker face pressed against the container, the paper's 1 cm reference
+// geometry. Speaker→container distances are clamped up to this.
+const PointBlank = 1 * units.Centimeter
+
+// Layout places containers and attacker speakers in a shared body of
+// water. Every speaker→container pair gets a real acoustics.Path through
+// the medium (spreading + absorption, optional Lloyd's-mirror surface
+// bounce), replacing hop-count sketches with geometry.
+type Layout struct {
+	// Medium is the shared water body; the zero value defaults to the
+	// tank medium the chain is calibrated in.
+	Medium water.Medium
+	// SurfaceDepth, when positive, enables the surface-reflection
+	// interference term on every path (source and targets at this depth).
+	SurfaceDepth units.Distance
+	// Containers are the failure domains.
+	Containers []ContainerSite
+	// Speakers are the attacker's sources.
+	Speakers []SpeakerSite
+}
+
+// GridLayout lays rows×cols containers on a regular grid with the given
+// pitch, all Scenario 2 (plastic container, storage tower) in the tank
+// medium. The standard starting point for datacenter experiments.
+func GridLayout(rows, cols int, pitch units.Distance) Layout {
+	l := Layout{Medium: water.FreshwaterTank()}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			l.Containers = append(l.Containers, ContainerSite{
+				Name:     fmt.Sprintf("ct-%d-%d", r, c),
+				Pos:      Vec3{X: float64(c) * pitch.Meters(), Y: float64(r) * pitch.Meters()},
+				Scenario: core.Scenario2,
+			})
+		}
+	}
+	return l
+}
+
+// LineLayout is a 1×n grid: containers in a line with the given spacing,
+// the geometry the Fleet experiments model.
+func LineLayout(n int, spacing units.Distance) Layout { return GridLayout(1, n, spacing) }
+
+// WithSpeakersAt returns a copy of the layout with one speaker pressed
+// against each of the named containers (co-located positions; the
+// point-blank clamp supplies the paper's 1 cm standoff), all emitting the
+// same tone. This is the "silence a failure domain" attacker.
+func (l Layout) WithSpeakersAt(tone sig.Tone, containers ...int) Layout {
+	speakers := make([]SpeakerSite, 0, len(containers))
+	for _, c := range containers {
+		if c < 0 || c >= len(l.Containers) {
+			continue
+		}
+		speakers = append(speakers, SpeakerSite{
+			Name: "spk@" + l.Containers[c].Name,
+			Pos:  l.Containers[c].Pos,
+			Tone: tone,
+		})
+	}
+	l.Speakers = speakers
+	return l
+}
+
+// medium returns the effective water medium.
+func (l Layout) medium() water.Medium {
+	if l.Medium == (water.Medium{}) {
+		return water.FreshwaterTank()
+	}
+	return l.Medium
+}
+
+// Validate checks the layout.
+func (l Layout) Validate() error {
+	if len(l.Containers) == 0 {
+		return fmt.Errorf("cluster: layout has no containers")
+	}
+	if err := l.medium().Validate(); err != nil {
+		return err
+	}
+	for _, ct := range l.Containers {
+		if _, err := ct.Scenario.Assembly(); err != nil {
+			return fmt.Errorf("cluster: container %q: %w", ct.Name, err)
+		}
+	}
+	return nil
+}
+
+// SpeakerDistance returns the physical path length from speaker s to
+// container c, clamped up to PointBlank.
+func (l Layout) SpeakerDistance(s, c int) units.Distance {
+	d := Between(l.Speakers[s].Pos, l.Containers[c].Pos)
+	if d < PointBlank {
+		d = PointBlank
+	}
+	return d
+}
+
+// PathTo returns the water path from speaker s to container c.
+func (l Layout) PathTo(s, c int) acoustics.Path {
+	return acoustics.Path{
+		Medium:       l.medium(),
+		Distance:     l.SpeakerDistance(s, c),
+		SurfaceDepth: l.SurfaceDepth,
+	}
+}
+
+// ChainTo returns the full attack chain (paper amplifier and projector
+// over the geometric path) from speaker s to container c.
+func (l Layout) ChainTo(s, c int) acoustics.Chain {
+	return acoustics.Chain{Amp: acoustics.BG2120(), Speaker: acoustics.AQ339(), Path: l.PathTo(s, c)}
+}
+
+// NearestSpeakerDistance returns the distance from container c to the
+// closest speaker; ok is false when the layout has no speakers.
+func (l Layout) NearestSpeakerDistance(c int) (units.Distance, bool) {
+	if len(l.Speakers) == 0 {
+		return 0, false
+	}
+	best := l.SpeakerDistance(0, c)
+	for s := 1; s < len(l.Speakers); s++ {
+		if d := l.SpeakerDistance(s, c); d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// VibrationAt superposes every active speaker's contribution at a drive
+// mounted in container c: each source is carried through its own
+// water path, the container's transmission, and the mount coupling, then
+// converted to off-track displacement by the drive model. Same-frequency
+// sources add coherently (in phase — the attacker's worst case);
+// distinct frequencies ride along as hdd partials, the composite
+// vibration path. active selects which speakers are keyed on; nil means
+// all.
+func (l Layout) VibrationAt(c int, asm enclosure.Assembly, model hdd.Model, active []bool) hdd.Vibration {
+	type comp struct {
+		f units.Frequency
+		a float64
+	}
+	var comps []comp
+	for s := range l.Speakers {
+		if active != nil && (s >= len(active) || !active[s]) {
+			continue
+		}
+		tone := l.Speakers[s].Tone.Normalize()
+		if tone.Amplitude == 0 || tone.Freq <= 0 {
+			continue
+		}
+		pressure := l.ChainTo(s, c).IncidentPressure(tone).Pascals()
+		amp := model.OffTrack(tone.Freq, pressure*asm.StructuralGain(tone.Freq))
+		if amp <= 0 {
+			continue
+		}
+		merged := false
+		for i := range comps {
+			if comps[i].f == tone.Freq {
+				comps[i].a += amp
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			comps = append(comps, comp{f: tone.Freq, a: amp})
+		}
+	}
+	if len(comps) == 0 {
+		return hdd.Quiet()
+	}
+	best := 0
+	for i, cc := range comps {
+		if cc.a > comps[best].a {
+			best = i
+		}
+	}
+	out := hdd.Vibration{Freq: comps[best].f, Amplitude: comps[best].a}
+	for i, cc := range comps {
+		if i != best {
+			out.Partials = append(out.Partials, hdd.Partial{Freq: cc.f, Amplitude: cc.a})
+		}
+	}
+	return out
+}

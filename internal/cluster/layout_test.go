@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"deepnote/internal/hdd"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// TestLayoutPointBlankClamp: a speaker co-located with its target is the
+// paper's pressed-against-the-wall geometry, clamped to 1 cm.
+func TestLayoutPointBlankClamp(t *testing.T) {
+	l := LineLayout(3, 2*units.Meter).WithSpeakersAt(sig.NewTone(650*units.Hz), 0)
+	if d := l.SpeakerDistance(0, 0); d != PointBlank {
+		t.Fatalf("co-located speaker distance = %v, want %v", d, PointBlank)
+	}
+	if d := l.SpeakerDistance(0, 1); d != 2*units.Meter {
+		t.Fatalf("next-container distance = %v, want 2 m", d)
+	}
+	if d := l.SpeakerDistance(0, 2); d != 4*units.Meter {
+		t.Fatalf("two-hop distance = %v, want 4 m", d)
+	}
+}
+
+// TestLayoutVibrationFallsWithDistance: farther containers always see
+// weaker excitation from the same speaker.
+func TestLayoutVibrationFallsWithDistance(t *testing.T) {
+	l := LineLayout(6, 2*units.Meter).WithSpeakersAt(sig.NewTone(650*units.Hz), 0)
+	a, err := l.Containers[0].Scenario.Assembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := hdd.Barracuda500()
+	prev := -1.0
+	for c := 0; c < 6; c++ {
+		amp := l.VibrationAt(c, a, model, nil).Amplitude
+		if c > 0 && amp >= prev {
+			t.Fatalf("container %d amp %.6f not below container %d amp %.6f", c, amp, c-1, prev)
+		}
+		prev = amp
+	}
+}
+
+// TestLayoutSuperpositionAdds: two same-frequency speakers excite a
+// container at least as hard as either alone (coherent in-phase sum).
+func TestLayoutSuperpositionAdds(t *testing.T) {
+	tone := sig.NewTone(650 * units.Hz)
+	l := LineLayout(4, 1*units.Meter).WithSpeakersAt(tone, 0, 1)
+	a, err := l.Containers[0].Scenario.Assembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := hdd.Barracuda500()
+	both := l.VibrationAt(2, a, model, []bool{true, true}).Amplitude
+	only0 := l.VibrationAt(2, a, model, []bool{true, false}).Amplitude
+	only1 := l.VibrationAt(2, a, model, []bool{false, true}).Amplitude
+	if only0 <= 0 || only1 <= 0 {
+		t.Fatalf("single-speaker amplitudes must be positive, got %.6f / %.6f", only0, only1)
+	}
+	if both < only0 || both < only1 {
+		t.Fatalf("superposed amp %.6f below single-speaker amps %.6f / %.6f", both, only0, only1)
+	}
+	if diff := both - (only0 + only1); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("same-frequency sources should add coherently: %.9f vs %.9f", both, only0+only1)
+	}
+}
+
+// TestLayoutDistinctFrequenciesBecomePartials: a two-tone attack reaches
+// the drive as a composite vibration, not a single tone.
+func TestLayoutDistinctFrequenciesBecomePartials(t *testing.T) {
+	l := LineLayout(3, 1*units.Meter)
+	l.Speakers = []SpeakerSite{
+		{Name: "a", Pos: l.Containers[0].Pos, Tone: sig.NewTone(650 * units.Hz)},
+		{Name: "b", Pos: l.Containers[0].Pos, Tone: sig.NewTone(5000 * units.Hz)},
+	}
+	a, err := l.Containers[0].Scenario.Assembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := l.VibrationAt(0, a, hdd.Barracuda500(), nil)
+	if len(v.Partials) != 1 {
+		t.Fatalf("want 1 partial for the second frequency, got %d", len(v.Partials))
+	}
+	if v.Freq != 650*units.Hz {
+		t.Fatalf("dominant component should be the stronger 650 Hz tone, got %v", v.Freq)
+	}
+}
+
+// TestLayoutSilencesTargetOnly: the acceptance physics — a point-blank
+// 650 Hz speaker servo-locks its own container while a 2 m neighbor
+// stays far below every fault threshold.
+func TestLayoutSilencesTargetOnly(t *testing.T) {
+	l := LineLayout(6, 2*units.Meter).WithSpeakersAt(sig.NewTone(650*units.Hz), 0)
+	a, err := l.Containers[0].Scenario.Assembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := hdd.Barracuda500()
+	if amp := l.VibrationAt(0, a, model, nil).Amplitude; amp < model.ServoLockFrac {
+		t.Fatalf("point-blank amp %.4f below servo lock %.2f: target not silenced", amp, model.ServoLockFrac)
+	}
+	neighbor := l.VibrationAt(1, a, model, nil).Amplitude
+	if margin := model.WriteFaultFrac - neighbor; margin < 5*model.BaseJitterFrac {
+		t.Fatalf("neighbor amp %.4f too close to write fault %.2f (margin %.4f)",
+			neighbor, model.WriteFaultFrac, margin)
+	}
+}

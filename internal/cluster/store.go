@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
+	"deepnote/internal/netstore"
+	"deepnote/internal/parallel"
+	"deepnote/internal/simclock"
+)
+
+// Config sizes the cluster.
+type Config struct {
+	// Layout places the containers (failure domains) and attacker
+	// speakers.
+	Layout Layout
+	// DrivesPerContainer is how many drives each container hosts
+	// (default 1; drives occupy tower slots bottom-up).
+	DrivesPerContainer int
+	// DataShards (k) and ParityShards (m) set the erasure code: every
+	// object is striped k-of-n with n = k+m, one shard per container
+	// (defaults 4+2). The layout must have at least n containers.
+	DataShards, ParityShards int
+	// Objects is the keyspace size (default 64).
+	Objects int
+	// ObjectSize is the client object size in bytes (default 64 KiB);
+	// shards are ObjectSize/k rounded up.
+	ObjectSize int
+	// Net templates the per-drive netstore servers; ObjectSize, Objects,
+	// and Seed are overridden per drive.
+	Net netstore.Config
+	// Seed drives every stochastic element (per-drive mechanics, network
+	// jitter, traffic); sub-seeds are derived with parallel.SeedFor so
+	// results are identical at any worker count. Default 1.
+	Seed int64
+	// Workers bounds the fan-out across drives (≤ 0 = all CPUs). Worker
+	// count never changes results, only wall-clock time.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrivesPerContainer <= 0 {
+		c.DrivesPerContainer = 1
+	}
+	if c.DataShards <= 0 {
+		c.DataShards = 4
+	}
+	if c.ParityShards <= 0 {
+		c.ParityShards = 2
+	}
+	if c.Objects <= 0 {
+		c.Objects = 64
+	}
+	if c.ObjectSize <= 0 {
+		c.ObjectSize = 64 << 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// driveStack is one drive's full victim stack: mechanics on its own
+// virtual clock, a block device, and a netstore front end. Each drive
+// owning its clock (rather than sharing one) is what makes the bulk-
+// synchronous serving engine deterministic at any worker count: a
+// drive's timeline depends only on the ops queued to it, never on how
+// goroutines interleave.
+type driveStack struct {
+	container, slot int
+	asm             enclosure.Assembly
+	clock           *simclock.Virtual
+	drive           *hdd.Drive
+	disk            *blockdev.Disk
+	server          *netstore.Server
+	stepIdx         int
+}
+
+// ScheduleStep keys the attacker's speakers at an offset from the start
+// of serving: Active[s] is whether layout speaker s is emitting from At
+// onward (nil = all silent).
+type ScheduleStep struct {
+	At     time.Duration
+	Active []bool
+}
+
+// Cluster is the assembled datacenter: n-shard erasure-coded object
+// store over per-drive victim stacks placed in a spatial layout.
+type Cluster struct {
+	cfg       Config
+	coder     *Coder
+	shardSize int
+	model     hdd.Model
+	drives    []*driveStack
+
+	// stripes caches each object's encoded shards; client PUTs rewrite
+	// the same deterministic content, so GET verification is exact.
+	stripes [][][]byte
+
+	schedule []ScheduleStep
+	// vibs[step][drive] is the precomputed superposed vibration.
+	vibs [][]hdd.Vibration
+
+	origin time.Time
+	last   ServeResult
+	// latencies of successful client requests, for histograms.
+	latGet, latPut []time.Duration
+}
+
+// New assembles a cluster. Every drive gets an independently seeded
+// mechanics RNG and network-jitter RNG derived from Config.Seed.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	coder, err := NewCoder(cfg.DataShards, cfg.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	if n, ct := coder.TotalShards(), len(cfg.Layout.Containers); ct < n {
+		return nil, fmt.Errorf("cluster: %d containers cannot hold %d-shard stripes in distinct failure domains", ct, n)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		coder:     coder,
+		shardSize: coder.ShardSize(cfg.ObjectSize),
+		model:     hdd.Barracuda500(),
+	}
+	for ct := range cfg.Layout.Containers {
+		asm, err := cfg.Layout.Containers[ct].Scenario.Assembly()
+		if err != nil {
+			return nil, err
+		}
+		for slot := 0; slot < cfg.DrivesPerContainer; slot++ {
+			driveAsm := asm
+			if asm.Mount.Tower != nil {
+				driveAsm.Mount = enclosure.TowerMount(*asm.Mount.Tower, slot%asm.Mount.Tower.Slots)
+			}
+			idx := len(c.drives)
+			clock := simclock.NewVirtual()
+			drive, err := hdd.NewDrive(c.model, clock, parallel.SeedFor(cfg.Seed, 2*idx))
+			if err != nil {
+				return nil, err
+			}
+			disk := blockdev.NewDisk(drive)
+			net := cfg.Net
+			net.ObjectSize = c.shardSize
+			net.Objects = cfg.Objects
+			net.Seed = parallel.SeedFor(cfg.Seed, 2*idx+1)
+			c.drives = append(c.drives, &driveStack{
+				container: ct,
+				slot:      slot,
+				asm:       driveAsm,
+				clock:     clock,
+				drive:     drive,
+				disk:      disk,
+				server:    netstore.NewServer(disk, clock, net),
+				stepIdx:   -1,
+			})
+		}
+	}
+	c.stripes = make([][][]byte, cfg.Objects)
+	for o := range c.stripes {
+		c.stripes[o] = coder.Encode(objectPayload(o, cfg.ObjectSize))
+	}
+	return c, nil
+}
+
+// Coder exposes the erasure coder.
+func (c *Cluster) Coder() *Coder { return c.coder }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Drives returns the number of drive stacks.
+func (c *Cluster) Drives() int { return len(c.drives) }
+
+// shardDrive maps (object, shard) to a drive index. Shard j of object o
+// lives in container (o+j) mod C — n consecutive distinct containers, so
+// each stripe spans n failure domains — on the drive in slot
+// (o / C) mod drivesPerContainer. The shard is stored as local object o
+// on that drive's netstore (one shard per object per container, so local
+// IDs never collide).
+func (c *Cluster) shardDrive(o, j int) int {
+	ct := (o + j) % len(c.cfg.Layout.Containers)
+	slot := (o / len(c.cfg.Layout.Containers)) % c.cfg.DrivesPerContainer
+	return ct*c.cfg.DrivesPerContainer + slot
+}
+
+// objectPayload is the deterministic content of object o. Client PUTs
+// write the same bytes, so any successful read — direct or reconstructed
+// — must match exactly; a mismatch is counted as a corrupt read.
+func objectPayload(o, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte((o*131 + i*7 + (i>>8)*13) ^ 0x5a)
+	}
+	return b
+}
+
+// SetSchedule programs the attack: steps sorted by offset; before the
+// first step (and with no steps) every speaker is silent. Vibrations for
+// every (step, drive) pair are superposed up front through the layout's
+// acoustic paths.
+func (c *Cluster) SetSchedule(steps []ScheduleStep) {
+	c.schedule = append([]ScheduleStep(nil), steps...)
+	sort.SliceStable(c.schedule, func(i, j int) bool { return c.schedule[i].At < c.schedule[j].At })
+	c.vibs = make([][]hdd.Vibration, len(c.schedule))
+	for si, step := range c.schedule {
+		active := step.Active
+		if active == nil {
+			active = make([]bool, len(c.cfg.Layout.Speakers)) // nil step mask = all silent
+		}
+		c.vibs[si] = make([]hdd.Vibration, len(c.drives))
+		for di, d := range c.drives {
+			c.vibs[si][di] = c.cfg.Layout.VibrationAt(d.container, d.asm, c.model, active)
+		}
+	}
+	for _, d := range c.drives {
+		d.stepIdx = -1
+		d.drive.SetVibration(hdd.Quiet())
+	}
+}
+
+// applySchedule updates drive di's vibration for the current offset from
+// the serving origin.
+func (c *Cluster) applySchedule(di int, offset time.Duration) {
+	d := c.drives[di]
+	step := -1
+	for si := range c.schedule {
+		if c.schedule[si].At <= offset {
+			step = si
+		} else {
+			break
+		}
+	}
+	if step == d.stepIdx {
+		return
+	}
+	d.stepIdx = step
+	if step < 0 {
+		d.drive.SetVibration(hdd.Quiet())
+		return
+	}
+	d.drive.SetVibration(c.vibs[step][di])
+}
+
+// Preload writes every object's stripe before serving starts (speakers
+// silent), so GETs hit allocated storage. Drive timelines advance
+// independently; the serving origin is aligned afterwards.
+func (c *Cluster) Preload() error {
+	// Group each drive's shards up front; per-drive execution is
+	// self-contained, so the fan-out is deterministic.
+	work := make([][][2]int, len(c.drives)) // drive -> list of (object, shard)
+	for o := 0; o < c.cfg.Objects; o++ {
+		for j := 0; j < c.coder.TotalShards(); j++ {
+			di := c.shardDrive(o, j)
+			work[di] = append(work[di], [2]int{o, j})
+		}
+	}
+	_, err := parallel.Run(context.Background(), parallel.Indices(len(c.drives)), c.cfg.Workers,
+		func(_ context.Context, di int, _ int) (struct{}, error) {
+			d := c.drives[di]
+			for _, oj := range work[di] {
+				_, resp := d.server.HandleObject(netstore.Put, oj[0], c.stripes[oj[0]][oj[1]])
+				if resp.Err != nil {
+					return struct{}{}, fmt.Errorf("cluster: preload object %d shard %d on drive %d: %w",
+						oj[0], oj[1], di, resp.Err)
+				}
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return err
+	}
+	// Align: serving measures offsets from the slowest drive's clock.
+	c.origin = c.drives[0].clock.Now()
+	for _, d := range c.drives[1:] {
+		if t := d.clock.Now(); t.After(c.origin) {
+			c.origin = t
+		}
+	}
+	for _, d := range c.drives {
+		if dt := c.origin.Sub(d.clock.Now()); dt > 0 {
+			d.clock.Advance(dt)
+		}
+	}
+	return nil
+}
+
+// PublishMetrics pushes the cluster's serving counters (under the
+// "cluster." prefix) and every drive stack's hdd/blockdev/netstore
+// counters into a registry. No-op on nil. Metrics never touch the
+// virtual clocks or RNGs, so results are identical with metrics on or
+// off.
+func (c *Cluster) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r := c.last
+	reg.Add("cluster.requests", int64(r.Requests))
+	reg.Add("cluster.gets", int64(r.Gets))
+	reg.Add("cluster.puts", int64(r.Puts))
+	reg.Add("cluster.get_failures", int64(r.GetFailures))
+	reg.Add("cluster.put_failures", int64(r.PutFailures))
+	reg.Add("cluster.degraded_reads", int64(r.DegradedReads))
+	reg.Add("cluster.degraded_writes", int64(r.DegradedWrites))
+	reg.Add("cluster.repair_writes", int64(r.RepairWrites))
+	reg.Add("cluster.repair_failures", int64(r.RepairFailures))
+	reg.Add("cluster.corrupt_reads", int64(r.CorruptReads))
+	reg.Add("cluster.shard_reads", int64(r.ShardReads))
+	reg.Add("cluster.shard_writes", int64(r.ShardWrites))
+	reg.Add("cluster.shard_read_errors", int64(r.ShardReadErrors))
+	reg.Add("cluster.shard_write_errors", int64(r.ShardWriteErrors))
+	reg.Add("cluster.bytes_served", r.BytesServed)
+	reg.MaxGauge("cluster.goodput_mbps", r.GoodputMBps)
+	reg.MaxGauge("cluster.p99_ms", float64(r.P99)/1e6)
+	for _, l := range c.latGet {
+		reg.Observe("cluster.get_latency_ns", int64(l))
+	}
+	for _, l := range c.latPut {
+		reg.Observe("cluster.put_latency_ns", int64(l))
+	}
+	for _, d := range c.drives {
+		d.drive.PublishMetrics(reg)
+		d.disk.PublishMetrics(reg)
+		d.server.PublishMetrics(reg)
+	}
+}

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"deepnote/internal/netstore"
+	"deepnote/internal/parallel"
+)
+
+// TrafficSpec is the open-loop client workload: requests arrive on a
+// fixed deterministic schedule regardless of how the cluster is coping
+// (the attacker's favorite arrival process — load does not back off when
+// the store degrades), with zipfian key popularity.
+type TrafficSpec struct {
+	// Requests is the total client request count (default 200).
+	Requests int
+	// Rate is the arrival rate in requests/second (default 1000): request
+	// i arrives at origin + i/Rate.
+	Rate float64
+	// ReadFraction is the GET share of the mix (default 0.9).
+	ReadFraction float64
+	// ZipfS and ZipfV shape key popularity (defaults 1.2, 1).
+	ZipfS, ZipfV float64
+	// Seed drives op mix and key choice (default: the cluster seed).
+	Seed int64
+}
+
+func (t TrafficSpec) withDefaults(clusterSeed int64) TrafficSpec {
+	if t.Requests <= 0 {
+		t.Requests = 200
+	}
+	if t.Rate <= 0 {
+		t.Rate = 1000
+	}
+	if t.ReadFraction <= 0 {
+		t.ReadFraction = 0.9
+	}
+	if t.ZipfS <= 1 {
+		t.ZipfS = 1.2
+	}
+	if t.ZipfV < 1 {
+		t.ZipfV = 1
+	}
+	if t.Seed == 0 {
+		t.Seed = clusterSeed
+	}
+	return t
+}
+
+// ServeResult summarizes one serving run.
+type ServeResult struct {
+	// Request-level outcomes.
+	Requests, Gets, Puts     int
+	GetOK, PutOK             int
+	GetFailures, PutFailures int
+	// DegradedReads are GETs that lost at least one shard and were served
+	// from parity; DegradedWrites are PUTs acked with fewer than n shards
+	// durable (still ≥ k).
+	DegradedReads, DegradedWrites int
+	// MinPutShards is the worst acked write redundancy (n when nothing
+	// degraded).
+	MinPutShards int
+	// Read-repair outcomes (background re-replication of shards lost
+	// during degraded reads).
+	RepairWrites, RepairFailures int
+	// CorruptReads counts served GETs whose decoded bytes mismatched the
+	// expected object content (must stay 0).
+	CorruptReads int
+	// Shard-level I/O.
+	ShardReads, ShardWrites           int
+	ShardReadErrors, ShardWriteErrors int
+	// BytesServed is the object bytes moved by successful requests.
+	BytesServed int64
+	// Span is the time from first arrival to last client completion.
+	Span time.Duration
+	// GoodputMBps is BytesServed over Span in MB/s.
+	GoodputMBps float64
+	// Client latency percentiles over successful requests.
+	P50, P99, Max time.Duration
+}
+
+// GetAvailability is the served fraction of GETs (1 when none issued).
+func (r ServeResult) GetAvailability() float64 {
+	if r.Gets == 0 {
+		return 1
+	}
+	return float64(r.GetOK) / float64(r.Gets)
+}
+
+// PutAvailability is the acked fraction of PUTs (1 when none issued).
+func (r ServeResult) PutAvailability() float64 {
+	if r.Puts == 0 {
+		return 1
+	}
+	return float64(r.PutOK) / float64(r.Puts)
+}
+
+// Availability is the served fraction of all requests.
+func (r ServeResult) Availability() float64 {
+	if r.Requests == 0 {
+		return 1
+	}
+	return float64(r.GetOK+r.PutOK) / float64(r.Requests)
+}
+
+// request is one in-flight client operation.
+type request struct {
+	op      netstore.Op
+	object  int
+	arrival time.Duration // offset from origin
+
+	done, ok bool
+	degraded bool
+	end      time.Duration
+	shardOK  int
+	tried    []bool
+	failed   []int
+	got      [][]byte
+}
+
+// shardOp is one shard-level operation bound for a drive queue.
+type shardOp struct {
+	req     int // owning request index; -1 for background repair
+	object  int
+	shard   int
+	op      netstore.Op
+	drive   int
+	arrival time.Duration
+
+	ok   bool
+	end  time.Duration
+	data []byte
+}
+
+// Serve runs the workload to completion and returns the summary.
+//
+// The engine is bulk-synchronous: each round's shard ops are assigned to
+// per-drive FIFO queues in deterministic global order, the drives are
+// processed concurrently (each is self-contained — own clock, own
+// mechanics RNG, own jitter RNG), and rounds are combined serially. A
+// shard op starts at max(its issue offset, the drive's current time), so
+// a backlogged drive queues work exactly like a congested server. GETs
+// fetch the k data shards first and fall back to parity shard-by-shard
+// in later rounds (degraded reads); PUTs write all n shards in one round
+// and ack at ≥ k durable. After the client window, lost shards observed
+// by degraded reads are re-written in a background read-repair round.
+// Results are byte-identical at any Config.Workers value.
+func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
+	spec = spec.withDefaults(c.cfg.Seed)
+	if c.origin.IsZero() {
+		return ServeResult{}, fmt.Errorf("cluster: Serve before Preload")
+	}
+	n := c.coder.TotalShards()
+	k := c.coder.DataShards()
+
+	// Deterministic open-loop arrivals.
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, spec.ZipfS, spec.ZipfV, uint64(c.cfg.Objects-1))
+	reqs := make([]*request, spec.Requests)
+	for i := range reqs {
+		op := netstore.Get
+		if rng.Float64() >= spec.ReadFraction {
+			op = netstore.Put
+		}
+		reqs[i] = &request{
+			op:      op,
+			object:  int(zipf.Uint64()),
+			arrival: time.Duration(float64(i) / spec.Rate * float64(time.Second)),
+			tried:   make([]bool, n),
+			got:     make([][]byte, n),
+		}
+	}
+
+	res := ServeResult{Requests: spec.Requests, MinPutShards: n}
+	c.latGet, c.latPut = nil, nil
+
+	// Round 0: PUTs stripe to all n shards; GETs try the k data shards.
+	var ops []shardOp
+	for ri, r := range reqs {
+		limit := k
+		if r.op == netstore.Put {
+			res.Puts++
+			limit = n
+		} else {
+			res.Gets++
+		}
+		for j := 0; j < limit; j++ {
+			r.tried[j] = true
+			ops = append(ops, shardOp{req: ri, object: r.object, shard: j, op: r.op,
+				drive: c.shardDrive(r.object, j), arrival: r.arrival})
+		}
+	}
+
+	for len(ops) > 0 {
+		if err := c.runRound(ops); err != nil {
+			return ServeResult{}, err
+		}
+		// Combine serially, in deterministic op order.
+		for i := range ops {
+			op := &ops[i]
+			r := reqs[op.req]
+			if op.op == netstore.Get {
+				res.ShardReads++
+			} else {
+				res.ShardWrites++
+			}
+			if op.ok {
+				r.shardOK++
+				if op.op == netstore.Get {
+					r.got[op.shard] = op.data
+				}
+			} else {
+				if op.op == netstore.Get {
+					res.ShardReadErrors++
+				} else {
+					res.ShardWriteErrors++
+				}
+				r.failed = append(r.failed, op.shard)
+			}
+			if op.end > r.end {
+				r.end = op.end
+			}
+		}
+		// Settle requests and plan the next round: degraded GETs walk the
+		// parity shards until k succeed or the stripe is exhausted.
+		ops = ops[:0]
+		for ri, r := range reqs {
+			if r.done {
+				continue
+			}
+			if r.op == netstore.Put {
+				r.done = true
+				r.ok = r.shardOK >= k
+				continue
+			}
+			if r.shardOK >= k {
+				r.done, r.ok = true, true
+				continue
+			}
+			queued := 0
+			need := k - r.shardOK
+			for j := 0; j < n && queued < need; j++ {
+				if r.tried[j] {
+					continue
+				}
+				r.tried[j] = true
+				queued++
+				ops = append(ops, shardOp{req: ri, object: r.object, shard: j, op: netstore.Get,
+					drive: c.shardDrive(r.object, j), arrival: r.end})
+			}
+			if queued == 0 {
+				r.done, r.ok = true, false
+			}
+		}
+	}
+
+	// Settle outcomes, decode GETs, and collect repair candidates.
+	type repairKey struct{ object, shard int }
+	repaired := map[repairKey]bool{}
+	var repairs []shardOp
+	for _, r := range reqs {
+		lat := r.end - r.arrival
+		if r.op == netstore.Put {
+			if !r.ok {
+				res.PutFailures++
+				continue
+			}
+			res.PutOK++
+			if r.shardOK < n {
+				res.DegradedWrites++
+			}
+			if r.shardOK < res.MinPutShards {
+				res.MinPutShards = r.shardOK
+			}
+			res.BytesServed += int64(c.cfg.ObjectSize)
+			c.latPut = append(c.latPut, lat)
+			continue
+		}
+		if !r.ok {
+			res.GetFailures++
+			continue
+		}
+		res.GetOK++
+		res.BytesServed += int64(c.cfg.ObjectSize)
+		c.latGet = append(c.latGet, lat)
+		if len(r.failed) > 0 {
+			res.DegradedReads++
+		}
+		if err := c.verifyRead(r, &res); err != nil {
+			return ServeResult{}, err
+		}
+		// Read-repair: shards this GET observed as lost get re-written in
+		// the background round (first observer wins).
+		for _, j := range r.failed {
+			key := repairKey{r.object, j}
+			if repaired[key] {
+				continue
+			}
+			repaired[key] = true
+			repairs = append(repairs, shardOp{req: -1, object: r.object, shard: j, op: netstore.Put,
+				drive: c.shardDrive(r.object, j), arrival: r.end, data: c.stripes[r.object][j]})
+		}
+	}
+
+	// Client-visible span and latency percentiles, before repair traffic.
+	for _, r := range reqs {
+		if r.end > res.Span {
+			res.Span = r.end
+		}
+	}
+	if res.Span > 0 {
+		res.GoodputMBps = float64(res.BytesServed) / 1e6 / res.Span.Seconds()
+	}
+	all := append(append([]time.Duration(nil), c.latGet...), c.latPut...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.P50 = all[(len(all)-1)/2]
+		res.P99 = all[(len(all)*99+99)/100-1]
+		res.Max = all[len(all)-1]
+	}
+
+	// Background read-repair round.
+	if len(repairs) > 0 {
+		if err := c.runRound(repairs); err != nil {
+			return ServeResult{}, err
+		}
+		for _, op := range repairs {
+			res.RepairWrites++
+			if !op.ok {
+				res.RepairFailures++
+			}
+		}
+	}
+
+	c.last = res
+	return res, nil
+}
+
+// verifyRead decodes a served GET and checks it against the object's
+// expected content.
+func (c *Cluster) verifyRead(r *request, res *ServeResult) error {
+	shards := make([][]byte, c.coder.TotalShards())
+	copy(shards, r.got)
+	dataIntact := true
+	for j := 0; j < c.coder.DataShards(); j++ {
+		if shards[j] == nil {
+			dataIntact = false
+			break
+		}
+	}
+	if !dataIntact {
+		if err := c.coder.Reconstruct(shards); err != nil {
+			return fmt.Errorf("cluster: reconstruct object %d: %w", r.object, err)
+		}
+	}
+	data, err := c.coder.Join(shards, c.cfg.ObjectSize)
+	if err != nil {
+		return fmt.Errorf("cluster: join object %d: %w", r.object, err)
+	}
+	expect := objectPayload(r.object, c.cfg.ObjectSize)
+	for i := range data {
+		if data[i] != expect[i] {
+			res.CorruptReads++
+			break
+		}
+	}
+	return nil
+}
+
+// runRound executes one batch of shard ops: ops are split into per-drive
+// FIFO queues preserving global order, then each drive runs its queue on
+// its own clock.
+func (c *Cluster) runRound(ops []shardOp) error {
+	queues := make([][]int, len(c.drives))
+	for i := range ops {
+		queues[ops[i].drive] = append(queues[ops[i].drive], i)
+	}
+	_, err := parallel.Run(context.Background(), parallel.Indices(len(c.drives)), c.cfg.Workers,
+		func(_ context.Context, di int, _ int) (struct{}, error) {
+			d := c.drives[di]
+			for _, oi := range queues[di] {
+				op := &ops[oi]
+				start := op.arrival
+				if now := d.clock.Now().Sub(c.origin); now > start {
+					start = now
+				} else {
+					d.clock.Advance(start - now)
+				}
+				c.applySchedule(di, start)
+				var payload []byte
+				if op.op == netstore.Put {
+					payload = op.data
+					if payload == nil {
+						payload = c.stripes[op.object][op.shard]
+					}
+				}
+				data, resp := d.server.HandleObject(op.op, op.object, payload)
+				op.ok = resp.Err == nil
+				op.end = d.clock.Now().Sub(c.origin)
+				if op.ok && op.op == netstore.Get {
+					op.data = data
+				}
+			}
+			return struct{}{}, nil
+		})
+	return err
+}

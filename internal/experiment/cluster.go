@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"deepnote/internal/cluster"
+	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
+	"deepnote/internal/parallel"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// ClusterSpec is the facility-scale campaign: an erasure-coded
+// datacenter serving open-loop client traffic while an attacker ladder
+// adds point-blank speakers one failure domain at a time, keying them on
+// mid-run. It answers the question the paper's introduction poses at
+// facility scale: how many sources must an attacker position before the
+// redundant store actually loses availability?
+type ClusterSpec struct {
+	// Containers and DrivesPerContainer size the facility (defaults 6, 1).
+	Containers, DrivesPerContainer int
+	// DataShards/ParityShards set the k-of-n code (defaults 4+2).
+	DataShards, ParityShards int
+	// Objects and ObjectSize size the keyspace (defaults 24, 16 KiB).
+	Objects, ObjectSize int
+	// Spacing is the container pitch (default 2 m).
+	Spacing units.Distance
+	// Freq is the attack tone (default 650 Hz).
+	Freq units.Frequency
+	// MaxSpeakers is the top of the attacker ladder; cells run speaker
+	// counts 0..MaxSpeakers (default: Containers).
+	MaxSpeakers int
+	// Requests, Rate, and ReadFraction shape the client workload
+	// (defaults 240 requests at 250 req/s, 90% reads).
+	Requests     int
+	Rate         float64
+	ReadFraction float64
+	// AttackStartFrac and AttackStopFrac key the speakers on during
+	// [start, stop] of the nominal request window, so the cluster serves
+	// load before, during, and after the attack (defaults 0.25, 0.75).
+	// AttackStopFrac ≥ 1 means the speakers never key off — the
+	// sustained-attack case the availability-cliff analysis uses.
+	AttackStartFrac, AttackStopFrac float64
+	Seed                            int64
+	// Workers bounds the ladder fan-out (≤ 0 = one per CPU); results are
+	// identical for any worker count.
+	Workers int
+	// Metrics receives engine and per-layer counters when non-nil.
+	Metrics *metrics.Registry
+}
+
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if s.Containers <= 0 {
+		s.Containers = 6
+	}
+	if s.DrivesPerContainer <= 0 {
+		s.DrivesPerContainer = 1
+	}
+	if s.DataShards <= 0 {
+		s.DataShards = 4
+	}
+	if s.ParityShards <= 0 {
+		s.ParityShards = 2
+	}
+	if s.Objects <= 0 {
+		s.Objects = 24
+	}
+	if s.ObjectSize <= 0 {
+		s.ObjectSize = 16 << 10
+	}
+	if s.Spacing == 0 {
+		s.Spacing = 2 * units.Meter
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.MaxSpeakers <= 0 || s.MaxSpeakers > s.Containers {
+		s.MaxSpeakers = s.Containers
+	}
+	if s.Requests <= 0 {
+		s.Requests = 240
+	}
+	if s.Rate <= 0 {
+		s.Rate = 250
+	}
+	if s.ReadFraction <= 0 {
+		s.ReadFraction = 0.9
+	}
+	if s.AttackStartFrac <= 0 {
+		s.AttackStartFrac = 0.25
+	}
+	if s.AttackStopFrac <= 0 {
+		s.AttackStopFrac = 0.75
+	}
+	if s.AttackStopFrac < s.AttackStartFrac {
+		s.AttackStopFrac = s.AttackStartFrac
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// ClusterResult is one ladder cell: the serving summary with the given
+// number of attacker speakers keyed on mid-run.
+type ClusterResult struct {
+	Speakers int
+	Silenced int // containers driven past servo lock while speakers are on
+	Serve    cluster.ServeResult
+}
+
+// ClusterSweep runs the attacker ladder: cell s places one point-blank
+// speaker at each of the first s containers, keys them on during the
+// attack window, and measures availability, durability, goodput, and
+// tail latency. Cells fan out over the parallel engine; every cell
+// builds its own cluster with seeds derived from (Seed, cell), so
+// results are byte-identical at any worker count.
+func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
+	spec = spec.withDefaults()
+	tone := sig.NewTone(spec.Freq)
+	window := time.Duration(float64(spec.Requests) / spec.Rate * float64(time.Second))
+	return parallel.RunObserved(context.Background(), parallel.Indices(spec.MaxSpeakers+1), spec.Workers, spec.Metrics,
+		func(_ context.Context, _ int, speakers int) (ClusterResult, error) {
+			targets := make([]int, speakers)
+			for i := range targets {
+				targets[i] = i
+			}
+			lay := cluster.LineLayout(spec.Containers, spec.Spacing).WithSpeakersAt(tone, targets...)
+			c, err := cluster.New(cluster.Config{
+				Layout:             lay,
+				DrivesPerContainer: spec.DrivesPerContainer,
+				DataShards:         spec.DataShards,
+				ParityShards:       spec.ParityShards,
+				Objects:            spec.Objects,
+				ObjectSize:         spec.ObjectSize,
+				Seed:               parallel.SeedFor(spec.Seed, speakers),
+				Workers:            1, // the ladder is the fan-out axis
+			})
+			if err != nil {
+				return ClusterResult{}, err
+			}
+			if err := c.Preload(); err != nil {
+				return ClusterResult{}, err
+			}
+			on := make([]bool, speakers)
+			for i := range on {
+				on[i] = true
+			}
+			steps := []cluster.ScheduleStep{
+				{At: time.Duration(float64(window) * spec.AttackStartFrac), Active: on},
+			}
+			if spec.AttackStopFrac < 1 {
+				steps = append(steps, cluster.ScheduleStep{
+					At: time.Duration(float64(window) * spec.AttackStopFrac), Active: nil})
+			}
+			c.SetSchedule(steps)
+			res, err := c.Serve(cluster.TrafficSpec{
+				Requests:     spec.Requests,
+				Rate:         spec.Rate,
+				ReadFraction: spec.ReadFraction,
+				Seed:         parallel.SeedFor(spec.Seed, 1000+speakers),
+			})
+			if err != nil {
+				return ClusterResult{}, err
+			}
+			c.PublishMetrics(spec.Metrics)
+			spec.Metrics.Add("experiment.cluster_cells", 1)
+			return ClusterResult{Speakers: speakers, Silenced: silencedContainers(lay, speakers), Serve: res}, nil
+		})
+}
+
+// clusterDriveModel is the drive every cluster container hosts.
+func clusterDriveModel() hdd.Model { return hdd.Barracuda500() }
+
+// silencedContainers counts containers whose drives are pushed past the
+// servo-lock threshold while all s speakers are on — the attacker's
+// effective failure-domain kill count.
+func silencedContainers(lay cluster.Layout, speakers int) int {
+	if speakers == 0 {
+		return 0
+	}
+	model := clusterDriveModel()
+	count := 0
+	for ci := range lay.Containers {
+		asm, err := lay.Containers[ci].Scenario.Assembly()
+		if err != nil {
+			continue
+		}
+		if lay.VibrationAt(ci, asm, model, nil).Amplitude >= model.ServoLockFrac {
+			count++
+		}
+	}
+	return count
+}
+
+// ClusterReport renders the ladder.
+func ClusterReport(rows []ClusterResult) *report.Table {
+	tb := report.NewTable(
+		"Erasure-coded cluster availability vs attacker speakers (k-of-n, mid-run attack window)",
+		"Speakers", "Silenced", "GET avail", "PUT avail", "Degraded reads", "Repairs",
+		"Goodput MB/s", "P50 ms", "P99 ms")
+	for _, r := range rows {
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Speakers),
+			fmt.Sprintf("%d", r.Silenced),
+			fmt.Sprintf("%.1f%%", r.Serve.GetAvailability()*100),
+			fmt.Sprintf("%.1f%%", r.Serve.PutAvailability()*100),
+			fmt.Sprintf("%d", r.Serve.DegradedReads),
+			fmt.Sprintf("%d", r.Serve.RepairWrites),
+			fmt.Sprintf("%.2f", r.Serve.GoodputMBps),
+			fmt.Sprintf("%.2f", float64(r.Serve.P50)/1e6),
+			fmt.Sprintf("%.2f", float64(r.Serve.P99)/1e6))
+	}
+	return tb
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"deepnote/internal/cluster"
 	"deepnote/internal/core"
 	"deepnote/internal/parallel"
 	"deepnote/internal/report"
@@ -14,8 +15,11 @@ import (
 // Fleet models a small underwater data center as M containers of N drives
 // each, and asks the scaling question the paper's introduction implies:
 // how much of the facility can an attacker with k speakers take offline?
-// One speaker per container is assumed (the paper's geometry), with
-// non-targeted containers far enough away that spreading protects them.
+// The facility is a cluster.LineLayout: containers in a line at the
+// configured pitch, one point-blank speaker pressed against each
+// targeted container, and every container's exposure computed from its
+// geometric acoustics.Path to the nearest source (non-targeted
+// containers are protected only by spreading along the real water path).
 
 // FleetSpec describes the facility and attack.
 type FleetSpec struct {
@@ -76,26 +80,26 @@ type FleetResult struct {
 
 // FleetAvailability computes, analytically from the off-track model, how
 // many drives fault when k containers are targeted point-blank and the
-// rest receive only the spill-over from the nearest speaker. Containers
-// are evaluated concurrently over the spec's Workers pool; each builds its
-// own testbed.
+// rest receive only the spill-over from the nearest speaker. Each
+// container's speaker distance is its geometric path length in the
+// cluster layout (co-located speakers clamp to the paper's 1 cm
+// point-blank geometry). Containers are evaluated concurrently over the
+// spec's Workers pool; each builds its own testbed.
 func FleetAvailability(spec FleetSpec) (FleetResult, error) {
 	spec = spec.withDefaults()
 	res := FleetResult{Spec: spec, DrivesTotal: spec.Containers * spec.DrivesPerContainer}
 	tone := sig.NewTone(spec.Freq)
+	targets := make([]int, spec.Speakers)
+	for i := range targets {
+		targets[i] = i
+	}
+	lay := cluster.LineLayout(spec.Containers, spec.ContainerSpacing).WithSpeakersAt(tone, targets...)
 	counts, err := parallel.Run(context.Background(), parallel.Indices(spec.Containers), spec.Workers,
 		func(_ context.Context, _ int, c int) (int, error) {
-			// Distance to the nearest speaker: point blank for targeted
-			// containers, spacing-scaled for the rest.
-			var d units.Distance
-			if c < spec.Speakers {
-				d = 1 * units.Centimeter
-			} else if spec.Speakers == 0 {
-				// No attack at all.
+			// Real path distance to the nearest speaker in the layout.
+			d, attacked := lay.NearestSpeakerDistance(c)
+			if !attacked {
 				return 0, nil
-			} else {
-				hops := c - spec.Speakers + 1
-				d = spec.ContainerSpacing * units.Distance(hops)
 			}
 			tb, err := core.NewTestbed(core.Scenario2, d)
 			if err != nil {

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"deepnote/internal/cluster"
+	"deepnote/internal/sig"
 	"deepnote/internal/units"
 )
 
@@ -93,5 +95,30 @@ func TestFleetTightSpacingLeaksAcrossContainers(t *testing.T) {
 	}
 	if r.DrivesFaulting <= 5 {
 		t.Fatalf("4 cm spacing should leak into the next container: %+v", r)
+	}
+}
+
+// TestFleetLayoutDistancesMatchHopModel pins the regression baseline for
+// the layout-based refactor: in a line layout the geometric distance
+// from container c to the nearest of k co-located speakers is exactly
+// the old hop-count model's (c−k+1)·spacing, with targeted containers
+// clamped to the 1 cm point-blank geometry.
+func TestFleetLayoutDistancesMatchHopModel(t *testing.T) {
+	const containers, speakers = 6, 2
+	spacing := 2 * units.Meter
+	lay := cluster.LineLayout(containers, spacing).
+		WithSpeakersAt(sig.NewTone(650*units.Hz), 0, 1)
+	for c := 0; c < containers; c++ {
+		got, ok := lay.NearestSpeakerDistance(c)
+		if !ok {
+			t.Fatalf("container %d: no speakers in layout", c)
+		}
+		want := cluster.PointBlank
+		if c >= speakers {
+			want = spacing * units.Distance(c-speakers+1)
+		}
+		if got != want {
+			t.Fatalf("container %d: layout distance %v, hop model %v", c, got, want)
+		}
 	}
 }

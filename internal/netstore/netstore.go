@@ -205,11 +205,31 @@ func (s *Server) rtt() time.Duration {
 // Config.Resilience enabled, failed attempts are retried (and GETs hedged)
 // inside the timeout budget, and a circuit breaker sheds requests while
 // the store is down.
+//
+// Handle is the payload-less form: PUTs store a fixed per-object pattern
+// and GETs discard the bytes read. Callers that care about object
+// contents (e.g. an erasure-coded store carrying real shards) use
+// HandleObject.
 func (s *Server) Handle(op Op, objectID int) Response {
+	_, resp := s.HandleObject(op, objectID, nil)
+	return resp
+}
+
+// HandleObject is Handle with an explicit payload. For PUTs, data is
+// stored (zero-padded to the object size; nil keeps Handle's fixed
+// pattern). For successful GETs the object's bytes are returned. Timing,
+// retry behavior, and the jitter RNG draw sequence are identical to
+// Handle.
+func (s *Server) HandleObject(op Op, objectID int, data []byte) ([]byte, Response) {
 	s.Requests++
 	if objectID < 0 || objectID >= s.cfg.Objects {
 		s.Errors++
-		return Response{Err: fmt.Errorf("%w: object %d", ErrBadRequest, objectID)}
+		return nil, Response{Err: fmt.Errorf("%w: object %d", ErrBadRequest, objectID)}
+	}
+	if op == Put && len(data) > s.cfg.ObjectSize {
+		s.Errors++
+		return nil, Response{Err: fmt.Errorf("%w: payload %d exceeds object size %d",
+			ErrBadRequest, len(data), s.cfg.ObjectSize)}
 	}
 	start := s.clock.Now()
 	net := s.rtt()
@@ -220,7 +240,7 @@ func (s *Server) Handle(op Op, objectID int) Response {
 		if s.clock.Now().Sub(s.openedAt) < res.BreakerCooldown {
 			s.FastFails++
 			s.clock.Sleep(net / 2)
-			return Response{Latency: s.clock.Now().Sub(start), Err: ErrUnavailable}
+			return nil, Response{Latency: s.clock.Now().Sub(start), Err: ErrUnavailable}
 		}
 		// Cooldown over: let this request through as the probe.
 		s.breaker = breakerHalfOpen
@@ -231,8 +251,15 @@ func (s *Server) Handle(op Op, objectID int) Response {
 	attempt := func() error {
 		var err error
 		if op == Put {
-			for i := range buf {
-				buf[i] = byte(objectID + i)
+			if data == nil {
+				for i := range buf {
+					buf[i] = byte(objectID + i)
+				}
+			} else {
+				n := copy(buf, data)
+				for i := n; i < len(buf); i++ {
+					buf[i] = 0
+				}
 			}
 			_, err = s.dev.WriteAt(buf, off)
 		} else {
@@ -288,7 +315,10 @@ func (s *Server) Handle(op Op, objectID int) Response {
 	if res.Enabled {
 		s.observeOutcome(resp.Err == nil)
 	}
-	return resp
+	if op == Get && resp.Err == nil {
+		return buf, resp
+	}
+	return nil, resp
 }
 
 // observeOutcome advances the circuit breaker after a served request.

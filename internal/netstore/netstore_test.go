@@ -120,3 +120,65 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("op names")
 	}
 }
+
+func TestHandleObjectRoundTrip(t *testing.T) {
+	s, _, _ := newServer(t, Config{ObjectSize: 4096})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	if _, r := s.HandleObject(Put, 3, payload); r.Err != nil {
+		t.Fatalf("put: %v", r.Err)
+	}
+	got, r := s.HandleObject(Get, 3, nil)
+	if r.Err != nil {
+		t.Fatalf("get: %v", r.Err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("got %d bytes, want the full object size", len(got))
+	}
+	for i := range got {
+		want := byte(0) // PUT zero-pads short payloads to the object size
+		if i < len(payload) {
+			want = payload[i]
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestHandleObjectOversizedPayloadRejected(t *testing.T) {
+	s, _, _ := newServer(t, Config{ObjectSize: 4096})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, r := s.HandleObject(Put, 0, make([]byte, 4097)); !errors.Is(r.Err, ErrBadRequest) {
+		t.Fatalf("oversized put: %v", r.Err)
+	}
+}
+
+// TestHandleObjectMatchesHandleTiming pins that the payload path is
+// timing-identical to the legacy fixed-pattern path: Handle is
+// HandleObject with a nil payload, so existing callers see the same RNG
+// draws and latencies.
+func TestHandleObjectMatchesHandleTiming(t *testing.T) {
+	a, _, _ := newServer(t, Config{Seed: 9})
+	b, _, _ := newServer(t, Config{Seed: 9})
+	if err := a.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ra := a.Handle(Get, i)
+		_, rb := b.HandleObject(Get, i, nil)
+		if ra.Latency != rb.Latency || (ra.Err == nil) != (rb.Err == nil) {
+			t.Fatalf("object %d: Handle %+v != HandleObject %+v", i, ra, rb)
+		}
+	}
+}
