@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"deepnote/internal/attack"
+	"deepnote/internal/cluster"
 	"deepnote/internal/core"
 	"deepnote/internal/experiment"
 	"deepnote/internal/fio"
@@ -35,15 +36,28 @@ type benchSnapshot struct {
 	// MetricsOverheadFrac is (instrumented - bare) / bare host time for
 	// the sweep pair; the observability layer promises < 5%.
 	MetricsOverheadFrac float64 `json:"metrics_overhead_frac"`
+	// ClusterOpsPerSec is the serving engine's shard-op throughput on the
+	// standard healthy cell (best of three runs) — the number the
+	// continuous-benchmarking gate tracks across PRs.
+	ClusterOpsPerSec float64 `json:"cluster_ops_per_sec"`
+	// ClusterOpsPerSecPrior carries the -baseline file's throughput
+	// forward, so a committed snapshot records before/after in one place.
+	ClusterOpsPerSecPrior float64 `json:"cluster_ops_per_sec_prior,omitempty"`
 }
 
 // cmdBench times the key experiments in host seconds and writes the
 // snapshot as JSON, including an instrumented-vs-bare sweep pair that
-// quantifies the metrics layer's overhead.
+// quantifies the metrics layer's overhead and the serving engine's
+// shard-op throughput. With -baseline it becomes the continuous-
+// benchmarking gate: the run fails (after writing the snapshot, so CI
+// can still upload it) when throughput regresses more than -maxregress
+// below the committed baseline.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_pr5.json", "output JSON path")
+	out := fs.String("out", "BENCH_pr6.json", "output JSON path")
 	quick := fs.Bool("quick", false, "shrink workloads (CI mode)")
+	baseline := fs.String("baseline", "", "committed snapshot to gate cluster_ops_per_sec against (empty = no gate)")
+	maxRegress := fs.Float64("maxregress", 0.10, "max fractional ops/sec regression allowed vs -baseline")
 	fs.Parse(args)
 
 	plan := sig.SweepPlan{Start: 100 * units.Hz, End: 2000 * units.Hz,
@@ -133,16 +147,78 @@ func cmdBench(args []string) error {
 		return err
 	}
 
+	engineRequests := 200_000
+	if *quick {
+		engineRequests = 50_000
+	}
+	if err := timeIt("cluster_engine", func() error {
+		ops, err := benchClusterEngine(engineRequests)
+		snap.ClusterOpsPerSec = ops
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("cluster engine: %.0f shard-ops/s\n", snap.ClusterOpsPerSec)
+
 	bare, instr := snap.Entries[0].Seconds, snap.Entries[1].Seconds
 	if bare > 0 {
 		snap.MetricsOverheadFrac = (instr - bare) / bare
 	}
 	fmt.Printf("metrics overhead: %+.2f%%\n", snap.MetricsOverheadFrac*100)
+
+	var gateErr error
+	if *baseline != "" {
+		prior, err := readBenchJSON(*baseline)
+		if err != nil {
+			return fmt.Errorf("bench baseline: %w", err)
+		}
+		snap.ClusterOpsPerSecPrior = prior.ClusterOpsPerSec
+		if floor := prior.ClusterOpsPerSec * (1 - *maxRegress); snap.ClusterOpsPerSec < floor {
+			gateErr = fmt.Errorf("bench gate: cluster engine %.0f shard-ops/s is below %.0f (baseline %.0f - %.0f%%)",
+				snap.ClusterOpsPerSec, floor, prior.ClusterOpsPerSec, *maxRegress*100)
+		} else {
+			fmt.Printf("bench gate: %.0f shard-ops/s vs baseline %.0f: ok\n",
+				snap.ClusterOpsPerSec, prior.ClusterOpsPerSec)
+		}
+	}
 	if err := writeBenchJSON(*out, snap); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
-	return nil
+	return gateErr
+}
+
+// benchClusterEngine measures the serving engine's shard-op throughput
+// on a healthy standard cell (4-of-6 over six containers, one speaker
+// keyed on): best host-time rate of three serves, so a single scheduler
+// hiccup doesn't gate a PR.
+func benchClusterEngine(requests int) (float64, error) {
+	lay := cluster.LineLayout(6, 2*units.Meter).WithSpeakersAt(sig.NewTone(650*units.Hz), 0)
+	c, err := cluster.New(cluster.Config{
+		Layout: lay, DataShards: 4, ParityShards: 2, Objects: 64, ObjectSize: 16 << 10,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Preload(); err != nil {
+		return 0, err
+	}
+	c.SetSchedule([]cluster.ScheduleStep{{At: 0, Active: []bool{true}}})
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := c.Serve(cluster.TrafficSpec{Requests: requests, Rate: 1e6})
+		if err != nil {
+			return 0, err
+		}
+		if res.CorruptReads != 0 {
+			return 0, fmt.Errorf("cluster engine bench: %d corrupt reads", res.CorruptReads)
+		}
+		if ops := float64(res.ShardReads+res.ShardWrites) / time.Since(start).Seconds(); ops > best {
+			best = ops
+		}
+	}
+	return best, nil
 }
 
 func writeBenchJSON(path string, snap benchSnapshot) error {
@@ -151,4 +227,16 @@ func writeBenchJSON(path string, snap benchSnapshot) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBenchJSON(path string) (benchSnapshot, error) {
+	var snap benchSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
 }

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 
+	"deepnote/internal/cluster"
 	"deepnote/internal/experiment"
 	"deepnote/internal/units"
 )
@@ -24,9 +25,11 @@ func cmdCluster(args []string) error {
 	spacing := fs.Float64("spacing", 2, "container spacing in meters")
 	freq := fs.Float64("freq", 650, "attack tone in Hz")
 	speakers := fs.Int("speakers", 0, "top of the speaker ladder (0 = one per container)")
+	cell := fs.Int("cell", -1, "run only this ladder cell (speaker count; -1 = full ladder)")
 	requests := fs.Int("requests", 240, "client requests per cell")
 	rate := fs.Float64("rate", 250, "client arrival rate (requests/second)")
-	readFrac := fs.Float64("readfrac", 0.9, "GET fraction of the workload")
+	readFrac := fs.Float64("readfrac", 0.9, "GET fraction of the workload (0 = write-only)")
+	cellWorkers := fs.Int("cell-workers", 1, "drive fan-out inside each cell (never changes results)")
 	attackStart := fs.Float64("attack-start", 0.25, "attack-on point as a fraction of the request window")
 	attackStop := fs.Float64("attack-stop", 0.75, "attack-off point as a fraction of the window (>= 1: never off)")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -46,12 +49,16 @@ func cmdCluster(args []string) error {
 		MaxSpeakers:        *speakers,
 		Requests:           *requests,
 		Rate:               *rate,
-		ReadFraction:       *readFrac,
+		ReadFraction:       cluster.Ptr(*readFrac),
 		AttackStartFrac:    *attackStart,
 		AttackStopFrac:     *attackStop,
 		Seed:               *seed,
 		Workers:            *workers,
+		CellWorkers:        *cellWorkers,
 		Metrics:            o.registry(),
+	}
+	if *cell >= 0 {
+		spec.Cells = []int{*cell}
 	}
 	rows, err := experiment.ClusterSweep(spec)
 	if err != nil {

@@ -130,7 +130,7 @@ func serveUnderAttack(speakers int) cluster.ServeResult {
 		ParityShards: 2,
 		Objects:      16,
 		ObjectSize:   8 << 10,
-		Seed:         42,
+		Seed:         cluster.Ptr(int64(42)),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,13 +20,13 @@ func testConfig(workers int) Config {
 		ParityShards: 2,
 		Objects:      24,
 		ObjectSize:   8 << 10,
-		Seed:         99,
+		Seed:         Ptr(int64(99)),
 		Workers:      workers,
 	}
 }
 
 func testTraffic() TrafficSpec {
-	return TrafficSpec{Requests: 120, Rate: 2000, ReadFraction: 0.8}
+	return TrafficSpec{Requests: 120, Rate: 2000, ReadFraction: Ptr(0.8)}
 }
 
 // serveWithSilenced builds the cluster, aims one point-blank speaker at

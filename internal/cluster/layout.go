@@ -171,43 +171,57 @@ func (l Layout) NearestSpeakerDistance(c int) (units.Distance, bool) {
 	return best, true
 }
 
-// VibrationAt superposes every active speaker's contribution at a drive
-// mounted in container c: each source is carried through its own
-// water path, the container's transmission, and the mount coupling, then
-// converted to off-track displacement by the drive model. Same-frequency
-// sources add coherently (in phase — the attacker's worst case);
-// distinct frequencies ride along as hdd partials, the composite
-// vibration path. active selects which speakers are keyed on; nil means
-// all.
-func (l Layout) VibrationAt(c int, asm enclosure.Assembly, model hdd.Model, active []bool) hdd.Vibration {
+// SpeakerAmp evaluates the full transfer chain from speaker s to a
+// drive mounted (with assembly asm) in container c: the tone is carried
+// through the speaker's water path, the container's transmission, and
+// the mount coupling, then converted to off-track displacement by the
+// drive model. It returns the speaker's tone frequency and the
+// off-track amplitude contribution (track-pitch fractions; 0 for a
+// silent or out-of-band source). This is the per-(speaker, drive)
+// transfer function the serving engine caches: it depends only on
+// geometry and the speaker's tone, never on the attack schedule.
+func (l Layout) SpeakerAmp(s, c int, asm enclosure.Assembly, model hdd.Model) (units.Frequency, float64) {
+	tone := l.Speakers[s].Tone.Normalize()
+	if tone.Amplitude == 0 || tone.Freq <= 0 {
+		return tone.Freq, 0
+	}
+	pressure := l.ChainTo(s, c).IncidentPressure(tone).Pascals()
+	return tone.Freq, model.OffTrack(tone.Freq, pressure*asm.StructuralGain(tone.Freq))
+}
+
+// superposeComponents merges n per-speaker contributions — each a
+// (frequency, off-track amplitude) pair — into one excitation state.
+// Same-frequency sources add coherently (in phase — the attacker's
+// worst case); distinct frequencies ride along as hdd partials, the
+// composite vibration path. active selects which speakers are keyed on;
+// nil means all. Both the direct chain walk (VibrationAt) and the
+// cached-transfer-function path superpose through this one helper, so
+// the two agree bit-exactly.
+func superposeComponents(n int, freq func(s int) units.Frequency, amp func(s int) float64, active []bool) hdd.Vibration {
 	type comp struct {
 		f units.Frequency
 		a float64
 	}
 	var comps []comp
-	for s := range l.Speakers {
+	for s := 0; s < n; s++ {
 		if active != nil && (s >= len(active) || !active[s]) {
 			continue
 		}
-		tone := l.Speakers[s].Tone.Normalize()
-		if tone.Amplitude == 0 || tone.Freq <= 0 {
+		a := amp(s)
+		if a <= 0 {
 			continue
 		}
-		pressure := l.ChainTo(s, c).IncidentPressure(tone).Pascals()
-		amp := model.OffTrack(tone.Freq, pressure*asm.StructuralGain(tone.Freq))
-		if amp <= 0 {
-			continue
-		}
+		f := freq(s)
 		merged := false
 		for i := range comps {
-			if comps[i].f == tone.Freq {
-				comps[i].a += amp
+			if comps[i].f == f {
+				comps[i].a += a
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			comps = append(comps, comp{f: tone.Freq, a: amp})
+			comps = append(comps, comp{f: f, a: a})
 		}
 	}
 	if len(comps) == 0 {
@@ -226,4 +240,19 @@ func (l Layout) VibrationAt(c int, asm enclosure.Assembly, model hdd.Model, acti
 		}
 	}
 	return out
+}
+
+// VibrationAt superposes every active speaker's contribution at a drive
+// mounted in container c by walking each speaker's full acoustic chain.
+// It is the reference (uncached) path; the serving engine precomputes
+// SpeakerAmp per (speaker, drive) instead and superposes cached gains.
+func (l Layout) VibrationAt(c int, asm enclosure.Assembly, model hdd.Model, active []bool) hdd.Vibration {
+	freqs := make([]units.Frequency, len(l.Speakers))
+	amps := make([]float64, len(l.Speakers))
+	for s := range l.Speakers {
+		freqs[s], amps[s] = l.SpeakerAmp(s, c, asm, model)
+	}
+	return superposeComponents(len(l.Speakers),
+		func(s int) units.Frequency { return freqs[s] },
+		func(s int) float64 { return amps[s] }, active)
 }

@@ -12,8 +12,16 @@ import (
 	"deepnote/internal/metrics"
 	"deepnote/internal/netstore"
 	"deepnote/internal/parallel"
+	"deepnote/internal/sched"
 	"deepnote/internal/simclock"
+	"deepnote/internal/units"
 )
+
+// Ptr returns a pointer to v: the literal-friendly way to set the
+// optional config fields that distinguish "unset" (nil) from an explicit
+// zero, e.g. TrafficSpec{ReadFraction: cluster.Ptr(0.0)} for a
+// write-only mix or Config{Seed: cluster.Ptr(int64(0))} for seed zero.
+func Ptr[T any](v T) *T { return &v }
 
 // Config sizes the cluster.
 type Config struct {
@@ -37,8 +45,10 @@ type Config struct {
 	Net netstore.Config
 	// Seed drives every stochastic element (per-drive mechanics, network
 	// jitter, traffic); sub-seeds are derived with parallel.SeedFor so
-	// results are identical at any worker count. Default 1.
-	Seed int64
+	// results are identical at any worker count. nil means the default
+	// (1); an explicit zero — Ptr(int64(0)) — is honored and reproduces
+	// like any other seed.
+	Seed *int64
 	// Workers bounds the fan-out across drives (≤ 0 = all CPUs). Worker
 	// count never changes results, only wall-clock time.
 	Workers int
@@ -60,11 +70,14 @@ func (c Config) withDefaults() Config {
 	if c.ObjectSize <= 0 {
 		c.ObjectSize = 64 << 10
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if c.Seed == nil {
+		c.Seed = Ptr(int64(1))
 	}
 	return c
 }
+
+// seed returns the resolved root seed; call only after withDefaults.
+func (c Config) seed() int64 { return *c.Seed }
 
 // driveStack is one drive's full victim stack: mechanics on its own
 // virtual clock, a block device, and a netstore front end. Each drive
@@ -80,6 +93,18 @@ type driveStack struct {
 	disk            *blockdev.Disk
 	server          *netstore.Server
 	stepIdx         int
+
+	// runner is the drive's discrete-event dispatcher: its queue holds
+	// this drive's pending shard ops in (time, issue-seq) order, and its
+	// clock is the drive's own virtual clock.
+	runner sched.Runner
+	// results accumulates one record per dispatched shard op within an
+	// epoch; the engine combines them serially and truncates. Reused.
+	results []opResult
+	// retained holds copies of GET payloads that mismatched their
+	// expected stripe bytes — the rare device-corruption case that needs
+	// the exact decode fallback. Reused.
+	retained []retainedShard
 }
 
 // ScheduleStep keys the attacker's speakers at an offset from the start
@@ -103,6 +128,15 @@ type Cluster struct {
 	// the same deterministic content, so GET verification is exact.
 	stripes [][][]byte
 
+	// tf caches the per-(speaker, drive) acoustic transfer gain — the
+	// full chain walk evaluated once at construction. Layout and tones
+	// are immutable after New, so the cache is never invalidated here;
+	// schedule steps only superpose cached gains (see internal/sched).
+	tf sched.TransferCache
+	// tfFreqs[s] is speaker s's normalized tone frequency, the other
+	// half of its cached transfer function.
+	tfFreqs []units.Frequency
+
 	schedule []ScheduleStep
 	// vibs[step][drive] is the precomputed superposed vibration.
 	vibs [][]hdd.Vibration
@@ -111,6 +145,14 @@ type Cluster struct {
 	last   ServeResult
 	// latencies of successful client requests, for histograms.
 	latGet, latPut []time.Duration
+
+	// Serving-engine buffers, reused across Serve calls so steady-state
+	// runs do not reallocate the arenas.
+	reqsBuf    []reqState
+	pendingBuf [2][]int32
+	failedBuf  []failRec
+	repairBuf  []repairOp
+	retained   map[retKey][]byte
 }
 
 // New assembles a cluster. Every drive gets an independently seeded
@@ -145,7 +187,7 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			idx := len(c.drives)
 			clock := simclock.NewVirtual()
-			drive, err := hdd.NewDrive(c.model, clock, parallel.SeedFor(cfg.Seed, 2*idx))
+			drive, err := hdd.NewDrive(c.model, clock, parallel.SeedFor(cfg.seed(), 2*idx))
 			if err != nil {
 				return nil, err
 			}
@@ -153,8 +195,8 @@ func New(cfg Config) (*Cluster, error) {
 			net := cfg.Net
 			net.ObjectSize = c.shardSize
 			net.Objects = cfg.Objects
-			net.Seed = parallel.SeedFor(cfg.Seed, 2*idx+1)
-			c.drives = append(c.drives, &driveStack{
+			net.Seed = parallel.SeedFor(cfg.seed(), 2*idx+1)
+			d := &driveStack{
 				container: ct,
 				slot:      slot,
 				asm:       driveAsm,
@@ -163,13 +205,27 @@ func New(cfg Config) (*Cluster, error) {
 				disk:      disk,
 				server:    netstore.NewServer(disk, clock, net),
 				stepIdx:   -1,
-			})
+			}
+			d.runner.Clock = clock
+			c.drives = append(c.drives, d)
 		}
 	}
 	c.stripes = make([][][]byte, cfg.Objects)
 	for o := range c.stripes {
 		c.stripes[o] = coder.Encode(objectPayload(o, cfg.ObjectSize))
 	}
+	// Precompute every speaker→drive transfer function once: geometry and
+	// tones are frozen after New, so attack schedules only superpose these
+	// cached gains (keying speakers on/off never re-walks the chain).
+	c.tfFreqs = make([]units.Frequency, len(cfg.Layout.Speakers))
+	for s := range cfg.Layout.Speakers {
+		c.tfFreqs[s] = cfg.Layout.Speakers[s].Tone.Normalize().Freq
+	}
+	c.tf.Ensure(len(cfg.Layout.Speakers), len(c.drives), func(s, di int) float64 {
+		_, amp := cfg.Layout.SpeakerAmp(s, c.drives[di].container, c.drives[di].asm, c.model)
+		return amp
+	})
+	c.retained = make(map[retKey][]byte)
 	return c, nil
 }
 
@@ -207,8 +263,9 @@ func objectPayload(o, size int) []byte {
 
 // SetSchedule programs the attack: steps sorted by offset; before the
 // first step (and with no steps) every speaker is silent. Vibrations for
-// every (step, drive) pair are superposed up front through the layout's
-// acoustic paths.
+// every (step, drive) pair are superposed up front from the cached
+// per-(speaker, drive) transfer functions — a schedule change costs
+// O(steps·drives·speakers) float adds, never an acoustic chain walk.
 func (c *Cluster) SetSchedule(steps []ScheduleStep) {
 	c.schedule = append([]ScheduleStep(nil), steps...)
 	sort.SliceStable(c.schedule, func(i, j int) bool { return c.schedule[i].At < c.schedule[j].At })
@@ -219,8 +276,11 @@ func (c *Cluster) SetSchedule(steps []ScheduleStep) {
 			active = make([]bool, len(c.cfg.Layout.Speakers)) // nil step mask = all silent
 		}
 		c.vibs[si] = make([]hdd.Vibration, len(c.drives))
-		for di, d := range c.drives {
-			c.vibs[si][di] = c.cfg.Layout.VibrationAt(d.container, d.asm, c.model, active)
+		for di := range c.drives {
+			c.vibs[si][di] = superposeComponents(len(c.cfg.Layout.Speakers),
+				func(s int) units.Frequency { return c.tfFreqs[s] },
+				func(s int) float64 { return c.tf.Gain(s, di) },
+				active)
 		}
 	}
 	for _, d := range c.drives {
@@ -229,26 +289,21 @@ func (c *Cluster) SetSchedule(steps []ScheduleStep) {
 	}
 }
 
-// applySchedule updates drive di's vibration for the current offset from
-// the serving origin.
+// applySchedule advances drive di's vibration to the schedule step in
+// effect at offset. Per drive, op start offsets are nondecreasing (an op
+// starts at max(arrival, drive now) and the clock never rewinds), so the
+// step index only moves forward and the scan resumes where the previous
+// op left it instead of walking the schedule from the top each time.
 func (c *Cluster) applySchedule(di int, offset time.Duration) {
 	d := c.drives[di]
-	step := -1
-	for si := range c.schedule {
-		if c.schedule[si].At <= offset {
-			step = si
-		} else {
-			break
-		}
+	step := d.stepIdx
+	for step+1 < len(c.schedule) && c.schedule[step+1].At <= offset {
+		step++
 	}
 	if step == d.stepIdx {
 		return
 	}
 	d.stepIdx = step
-	if step < 0 {
-		d.drive.SetVibration(hdd.Quiet())
-		return
-	}
 	d.drive.SetVibration(c.vibs[step][di])
 }
 
@@ -269,7 +324,7 @@ func (c *Cluster) Preload() error {
 		func(_ context.Context, di int, _ int) (struct{}, error) {
 			d := c.drives[di]
 			for _, oj := range work[di] {
-				_, resp := d.server.HandleObject(netstore.Put, oj[0], c.stripes[oj[0]][oj[1]])
+				_, resp := d.server.HandleObjectShared(netstore.Put, oj[0], c.stripes[oj[0]][oj[1]])
 				if resp.Err != nil {
 					return struct{}{}, fmt.Errorf("cluster: preload object %d shard %d on drive %d: %w",
 						oj[0], oj[1], di, resp.Err)

@@ -1,14 +1,17 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
 
 	"deepnote/internal/netstore"
 	"deepnote/internal/parallel"
+	"deepnote/internal/sched"
 )
 
 // TrafficSpec is the open-loop client workload: requests arrive on a
@@ -19,25 +22,32 @@ type TrafficSpec struct {
 	// Requests is the total client request count (default 200).
 	Requests int
 	// Rate is the arrival rate in requests/second (default 1000): request
-	// i arrives at origin + i/Rate.
+	// i arrives at origin + i/Rate, computed in integer nanoseconds.
 	Rate float64
-	// ReadFraction is the GET share of the mix (default 0.9).
-	ReadFraction float64
+	// ReadFraction is the GET share of the mix. nil means the default
+	// (0.9); an explicit Ptr(0.0) is a write-only workload. Values
+	// outside [0, 1] are rejected.
+	ReadFraction *float64
 	// ZipfS and ZipfV shape key popularity (defaults 1.2, 1).
 	ZipfS, ZipfV float64
-	// Seed drives op mix and key choice (default: the cluster seed).
-	Seed int64
+	// Seed drives op mix and key choice. nil means the cluster seed; an
+	// explicit Ptr(int64(0)) is honored and reproduces like any other
+	// seed.
+	Seed *int64
 }
 
-func (t TrafficSpec) withDefaults(clusterSeed int64) TrafficSpec {
+func (t TrafficSpec) withDefaults(clusterSeed int64) (TrafficSpec, error) {
 	if t.Requests <= 0 {
 		t.Requests = 200
 	}
 	if t.Rate <= 0 {
 		t.Rate = 1000
 	}
-	if t.ReadFraction <= 0 {
-		t.ReadFraction = 0.9
+	if t.ReadFraction == nil {
+		t.ReadFraction = Ptr(0.9)
+	}
+	if rf := *t.ReadFraction; math.IsNaN(rf) || rf < 0 || rf > 1 {
+		return t, fmt.Errorf("cluster: ReadFraction %v outside [0, 1]", rf)
 	}
 	if t.ZipfS <= 1 {
 		t.ZipfS = 1.2
@@ -45,10 +55,24 @@ func (t TrafficSpec) withDefaults(clusterSeed int64) TrafficSpec {
 	if t.ZipfV < 1 {
 		t.ZipfV = 1
 	}
-	if t.Seed == 0 {
-		t.Seed = clusterSeed
+	if t.Seed == nil {
+		t.Seed = Ptr(clusterSeed)
 	}
-	return t
+	return t, nil
+}
+
+// arrivalNS returns request i's open-loop arrival offset in integer
+// nanoseconds: i/rate seconds with the division carried out in int64 for
+// whole-number rates, so a 10^8-request schedule stays strictly monotone
+// instead of accumulating float64 rounding — float64(i)/rate*1e9 loses
+// integer precision past 2^53 ns and can emit equal or even decreasing
+// arrivals at scale.
+func arrivalNS(i int, rate float64) int64 {
+	if rate >= 1 && rate <= 1e9 && rate == math.Trunc(rate) {
+		r := int64(rate)
+		return int64(i)/r*int64(time.Second) + int64(i)%r*int64(time.Second)/r
+	}
+	return int64(math.Round(float64(i) / rate * 1e9))
 }
 
 // ServeResult summarizes one serving run.
@@ -107,211 +131,294 @@ func (r ServeResult) Availability() float64 {
 	return float64(r.GetOK+r.PutOK) / float64(r.Requests)
 }
 
-// request is one in-flight client operation.
-type request struct {
-	op      netstore.Op
-	object  int
-	arrival time.Duration // offset from origin
-
-	done, ok bool
-	degraded bool
-	end      time.Duration
-	shardOK  int
-	tried    []bool
-	failed   []int
-	got      [][]byte
+// reqState is one client request in the arena: fixed-size, no per-request
+// heap objects. Shards are always issued as a prefix [0, nextShard), so a
+// counter replaces the old per-request tried bitmap, and eager in-flight
+// verification (see dispatch) replaces the old per-request [][]byte of
+// returned payloads.
+type reqState struct {
+	arrival int64 // ns from origin
+	end     int64 // ns from origin, max over this request's shard ops
+	object  int32
+	// nextShard is one past the highest shard issued.
+	nextShard uint16
+	shardOK   uint16
+	failCount uint16
+	flags     uint8
 }
 
-// shardOp is one shard-level operation bound for a drive queue.
-type shardOp struct {
-	req     int // owning request index; -1 for background repair
-	object  int
-	shard   int
-	op      netstore.Op
-	drive   int
-	arrival time.Duration
+// reqState flags.
+const (
+	reqPut uint8 = 1 << iota
+	reqDone
+	reqOK
+	// reqAllFull: every successful GET shard matched its stripe
+	// byte-for-byte (parity included).
+	reqAllFull
+	// reqAllDirect: every successful GET data shard matched through its
+	// real-byte prefix (padding excluded) — exactly what a direct k-shard
+	// decode would compare after the join truncates to the object size.
+	reqAllDirect
+)
 
-	ok   bool
-	end  time.Duration
-	data []byte
+// Event-ID flags (low byte of a queue item's ID).
+const (
+	evPut uint8 = 1 << iota
+	evRepair
+)
+
+// packEv encodes a shard op as a queue event ID: request index (repair
+// index for evRepair events) in the high bits, shard in bits 8–23, flags
+// in the low byte. Events are plain integers so the queues never hold
+// pointers or closures.
+func packEv(req int32, shard int, flags uint8) uint64 {
+	return uint64(uint32(req))<<24 | uint64(uint16(shard))<<8 | uint64(flags)
+}
+
+// opResult is one dispatched shard op's outcome, recorded by the owning
+// drive during an epoch and folded into request state serially afterward.
+type opResult struct {
+	end   int64
+	req   int32
+	shard uint16
+	bits  uint8
+}
+
+// opResult bits.
+const (
+	opOK uint8 = 1 << iota
+	opPut
+	opFull  // GET payload matched the stripe shard byte-for-byte
+	opTrunc // GET payload matched through the shard's real-byte prefix
+)
+
+// retainedShard carries the actual device bytes of a GET that mismatched
+// its stripe, for the exact decode fallback.
+type retainedShard struct {
+	req   int32
+	shard uint16
+	data  []byte
+}
+
+// retKey indexes retained shard bytes by (request, shard).
+type retKey struct {
+	req   int32
+	shard uint16
+}
+
+// failRec is one failed GET shard op, kept for degraded accounting and
+// read-repair planning.
+type failRec struct {
+	req   int32
+	shard uint16
+}
+
+// repairOp is one background shard re-write.
+type repairOp struct {
+	arrival int64
+	object  int32
+	shard   uint16
+	ok      bool
 }
 
 // Serve runs the workload to completion and returns the summary.
 //
-// The engine is bulk-synchronous: each round's shard ops are assigned to
-// per-drive FIFO queues in deterministic global order, the drives are
-// processed concurrently (each is self-contained — own clock, own
-// mechanics RNG, own jitter RNG), and rounds are combined serially. A
-// shard op starts at max(its issue offset, the drive's current time), so
-// a backlogged drive queues work exactly like a congested server. GETs
-// fetch the k data shards first and fall back to parity shard-by-shard
-// in later rounds (degraded reads); PUTs write all n shards in one round
-// and ack at ≥ k durable. After the client window, lost shards observed
-// by degraded reads are re-written in a background read-repair round.
-// Results are byte-identical at any Config.Workers value.
+// The engine is an epoch-synchronized discrete-event simulation (see
+// internal/sched): each epoch's shard ops are pushed onto per-drive event
+// queues in deterministic global order, every drive drains its queue
+// concurrently in (arrival, issue-seq) order on its own clock — an op
+// starts at max(its arrival, the drive's current time), so a backlogged
+// drive queues work exactly like a congested server — and results are
+// folded back serially between epochs. GETs fetch the k data shards
+// first and fall back to parity shard-by-shard in later epochs (degraded
+// reads); PUTs write all n shards in one epoch and ack at ≥ k durable.
+// After the client window, lost shards observed by degraded reads are
+// re-written in a background read-repair epoch.
+//
+// GET payloads are verified against the precomputed stripe bytes inside
+// the drive loop (the server hands out a view of its request buffer, so
+// nothing is copied); only the rare mismatching shard is retained for an
+// exact reconstruct-and-compare fallback. Results are byte-identical at
+// any Config.Workers value.
 func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
-	spec = spec.withDefaults(c.cfg.Seed)
+	spec, err := spec.withDefaults(c.cfg.seed())
+	if err != nil {
+		return ServeResult{}, err
+	}
 	if c.origin.IsZero() {
 		return ServeResult{}, fmt.Errorf("cluster: Serve before Preload")
 	}
 	n := c.coder.TotalShards()
 	k := c.coder.DataShards()
 
-	// Deterministic open-loop arrivals.
-	rng := rand.New(rand.NewSource(spec.Seed))
+	// Deterministic open-loop client stream: one Float64 (op mix) and one
+	// zipf draw (key) per request, in request order.
+	rng := rand.New(rand.NewSource(*spec.Seed))
 	zipf := rand.NewZipf(rng, spec.ZipfS, spec.ZipfV, uint64(c.cfg.Objects-1))
-	reqs := make([]*request, spec.Requests)
-	for i := range reqs {
-		op := netstore.Get
-		if rng.Float64() >= spec.ReadFraction {
-			op = netstore.Put
-		}
-		reqs[i] = &request{
-			op:      op,
-			object:  int(zipf.Uint64()),
-			arrival: time.Duration(float64(i) / spec.Rate * float64(time.Second)),
-			tried:   make([]bool, n),
-			got:     make([][]byte, n),
-		}
+	rf := *spec.ReadFraction
+
+	if cap(c.reqsBuf) < spec.Requests {
+		c.reqsBuf = make([]reqState, spec.Requests)
 	}
+	reqs := c.reqsBuf[:spec.Requests]
+	c.failedBuf = c.failedBuf[:0]
+	c.repairBuf = c.repairBuf[:0]
+	clear(c.retained)
+	c.latGet, c.latPut = c.latGet[:0], c.latPut[:0]
 
 	res := ServeResult{Requests: spec.Requests, MinPutShards: n}
-	c.latGet, c.latPut = nil, nil
+	for i := range reqs {
+		fl := reqAllFull | reqAllDirect
+		if rng.Float64() >= rf {
+			fl |= reqPut
+		}
+		reqs[i] = reqState{arrival: arrivalNS(i, spec.Rate), object: int32(zipf.Uint64()), flags: fl}
+	}
 
-	// Round 0: PUTs stripe to all n shards; GETs try the k data shards.
-	var ops []shardOp
-	for ri, r := range reqs {
-		limit := k
-		if r.op == netstore.Put {
+	// Epoch 0: PUTs stripe to all n shards; GETs try the k data shards.
+	queued := 0
+	for ri := range reqs {
+		r := &reqs[ri]
+		limit, fl := k, uint8(0)
+		if r.flags&reqPut != 0 {
 			res.Puts++
-			limit = n
+			limit, fl = n, evPut
 		} else {
 			res.Gets++
 		}
+		r.nextShard = uint16(limit)
 		for j := 0; j < limit; j++ {
-			r.tried[j] = true
-			ops = append(ops, shardOp{req: ri, object: r.object, shard: j, op: r.op,
-				drive: c.shardDrive(r.object, j), arrival: r.arrival})
+			c.drives[c.shardDrive(int(r.object), j)].runner.Queue.Push(r.arrival, packEv(int32(ri), j, fl))
 		}
+		queued += limit
 	}
+	pending := c.pendingBuf[0][:0]
+	for ri := range reqs {
+		pending = append(pending, int32(ri))
+	}
+	next := c.pendingBuf[1][:0]
 
-	for len(ops) > 0 {
-		if err := c.runRound(ops); err != nil {
+	for queued > 0 {
+		if err := c.drainDrives(); err != nil {
 			return ServeResult{}, err
 		}
-		// Combine serially, in deterministic op order.
-		for i := range ops {
-			op := &ops[i]
-			r := reqs[op.req]
-			if op.op == netstore.Get {
-				res.ShardReads++
-			} else {
-				res.ShardWrites++
-			}
-			if op.ok {
-				r.shardOK++
-				if op.op == netstore.Get {
-					r.got[op.shard] = op.data
+		c.combine(reqs, &res)
+		// Settle and plan the next epoch: PUTs ack at ≥ k durable; GETs
+		// walk the parity shards until k succeed or the stripe is spent.
+		next = next[:0]
+		queued = 0
+		for _, ri := range pending {
+			r := &reqs[ri]
+			if r.flags&reqPut != 0 {
+				r.flags |= reqDone
+				if int(r.shardOK) >= k {
+					r.flags |= reqOK
 				}
-			} else {
-				if op.op == netstore.Get {
-					res.ShardReadErrors++
-				} else {
-					res.ShardWriteErrors++
-				}
-				r.failed = append(r.failed, op.shard)
+				continue
 			}
-			if op.end > r.end {
-				r.end = op.end
+			if int(r.shardOK) >= k {
+				r.flags |= reqDone | reqOK
+				continue
+			}
+			need := k - int(r.shardOK)
+			issued := 0
+			for j := int(r.nextShard); j < n && issued < need; j++ {
+				c.drives[c.shardDrive(int(r.object), j)].runner.Queue.Push(r.end, packEv(ri, j, 0))
+				r.nextShard++
+				issued++
+			}
+			if issued == 0 {
+				r.flags |= reqDone
+			} else {
+				next = append(next, ri)
+				queued += issued
 			}
 		}
-		// Settle requests and plan the next round: degraded GETs walk the
-		// parity shards until k succeed or the stripe is exhausted.
-		ops = ops[:0]
-		for ri, r := range reqs {
-			if r.done {
-				continue
-			}
-			if r.op == netstore.Put {
-				r.done = true
-				r.ok = r.shardOK >= k
-				continue
-			}
-			if r.shardOK >= k {
-				r.done, r.ok = true, true
-				continue
-			}
-			queued := 0
-			need := k - r.shardOK
-			for j := 0; j < n && queued < need; j++ {
-				if r.tried[j] {
-					continue
-				}
-				r.tried[j] = true
-				queued++
-				ops = append(ops, shardOp{req: ri, object: r.object, shard: j, op: netstore.Get,
-					drive: c.shardDrive(r.object, j), arrival: r.end})
-			}
-			if queued == 0 {
-				r.done, r.ok = true, false
-			}
-		}
+		pending, next = next, pending
 	}
+	c.pendingBuf[0], c.pendingBuf[1] = pending[:0], next[:0]
 
-	// Settle outcomes, decode GETs, and collect repair candidates.
-	type repairKey struct{ object, shard int }
-	repaired := map[repairKey]bool{}
-	var repairs []shardOp
-	for _, r := range reqs {
-		lat := r.end - r.arrival
-		if r.op == netstore.Put {
-			if !r.ok {
+	// Settle outcomes in request order: latencies, corruption checks, and
+	// read-repair planning ("first observer wins" on each lost shard —
+	// the fail list is sorted so observers are visited in request order).
+	sort.Slice(c.failedBuf, func(i, j int) bool {
+		if c.failedBuf[i].req != c.failedBuf[j].req {
+			return c.failedBuf[i].req < c.failedBuf[j].req
+		}
+		return c.failedBuf[i].shard < c.failedBuf[j].shard
+	})
+	type objShard struct {
+		object int32
+		shard  uint16
+	}
+	repairSeen := map[objShard]bool{}
+	fi := 0
+	for ri := range reqs {
+		r := &reqs[ri]
+		if r.end > int64(res.Span) {
+			res.Span = time.Duration(r.end)
+		}
+		fj := fi
+		for fj < len(c.failedBuf) && int(c.failedBuf[fj].req) == ri {
+			fj++
+		}
+		fails := c.failedBuf[fi:fj]
+		fi = fj
+		lat := time.Duration(r.end - r.arrival)
+		if r.flags&reqPut != 0 {
+			if r.flags&reqOK == 0 {
 				res.PutFailures++
 				continue
 			}
 			res.PutOK++
-			if r.shardOK < n {
+			if int(r.shardOK) < n {
 				res.DegradedWrites++
 			}
-			if r.shardOK < res.MinPutShards {
-				res.MinPutShards = r.shardOK
+			if int(r.shardOK) < res.MinPutShards {
+				res.MinPutShards = int(r.shardOK)
 			}
 			res.BytesServed += int64(c.cfg.ObjectSize)
 			c.latPut = append(c.latPut, lat)
 			continue
 		}
-		if !r.ok {
+		if r.flags&reqOK == 0 {
 			res.GetFailures++
 			continue
 		}
 		res.GetOK++
 		res.BytesServed += int64(c.cfg.ObjectSize)
 		c.latGet = append(c.latGet, lat)
-		if len(r.failed) > 0 {
+		if len(fails) > 0 {
 			res.DegradedReads++
 		}
-		if err := c.verifyRead(r, &res); err != nil {
-			return ServeResult{}, err
+		switch {
+		case len(fails) == 0:
+			// Direct read: the decode is the k data shards concatenated
+			// and truncated to the object size, so the per-shard
+			// real-byte-prefix matches are exactly the old decoded-bytes
+			// comparison.
+			if r.flags&reqAllDirect == 0 {
+				res.CorruptReads++
+			}
+		case r.flags&reqAllFull != 0:
+			// Degraded, but every surviving shard matched its stripe
+			// byte-for-byte: reconstruction reproduces the stripe. Clean.
+		default:
+			if err := c.verifyExact(int32(ri), r, fails, &res); err != nil {
+				return ServeResult{}, err
+			}
 		}
-		// Read-repair: shards this GET observed as lost get re-written in
-		// the background round (first observer wins).
-		for _, j := range r.failed {
-			key := repairKey{r.object, j}
-			if repaired[key] {
+		for _, f := range fails {
+			key := objShard{r.object, f.shard}
+			if repairSeen[key] {
 				continue
 			}
-			repaired[key] = true
-			repairs = append(repairs, shardOp{req: -1, object: r.object, shard: j, op: netstore.Put,
-				drive: c.shardDrive(r.object, j), arrival: r.end, data: c.stripes[r.object][j]})
+			repairSeen[key] = true
+			c.repairBuf = append(c.repairBuf, repairOp{arrival: r.end, object: r.object, shard: f.shard})
 		}
 	}
 
 	// Client-visible span and latency percentiles, before repair traffic.
-	for _, r := range reqs {
-		if r.end > res.Span {
-			res.Span = r.end
-		}
-	}
 	if res.Span > 0 {
 		res.GoodputMBps = float64(res.BytesServed) / 1e6 / res.Span.Seconds()
 	}
@@ -323,14 +430,19 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 		res.Max = all[len(all)-1]
 	}
 
-	// Background read-repair round.
-	if len(repairs) > 0 {
-		if err := c.runRound(repairs); err != nil {
+	// Background read-repair epoch.
+	if len(c.repairBuf) > 0 {
+		for i := range c.repairBuf {
+			rp := &c.repairBuf[i]
+			c.drives[c.shardDrive(int(rp.object), int(rp.shard))].runner.Queue.Push(
+				rp.arrival, packEv(int32(i), int(rp.shard), evPut|evRepair))
+		}
+		if err := c.drainDrives(); err != nil {
 			return ServeResult{}, err
 		}
-		for _, op := range repairs {
+		for i := range c.repairBuf {
 			res.RepairWrites++
-			if !op.ok {
+			if !c.repairBuf[i].ok {
 				res.RepairFailures++
 			}
 		}
@@ -340,11 +452,142 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 	return res, nil
 }
 
-// verifyRead decodes a served GET and checks it against the object's
-// expected content.
-func (c *Cluster) verifyRead(r *request, res *ServeResult) error {
+// drainDrives runs every drive's event queue to empty, fanning out
+// across Config.Workers. Each drive is self-contained — own queue, own
+// clock, own RNGs, own result buffer — so the fan-out never changes
+// results, only wall-clock time.
+func (c *Cluster) drainDrives() error {
+	_, err := parallel.Run(context.Background(), parallel.Indices(len(c.drives)), c.cfg.Workers,
+		func(_ context.Context, di int, _ int) (struct{}, error) {
+			d := c.drives[di]
+			d.runner.Run(c.origin, func(it sched.Item) { c.dispatch(di, it) })
+			return struct{}{}, nil
+		})
+	return err
+}
+
+// dispatch executes one shard op on drive di. The runner has already
+// advanced the drive's clock to max(event time, drive now); everything
+// touched here is owned by the drive (its stack, its result buffers) or
+// read-only (request arena, stripes), so drives dispatch concurrently
+// without synchronization. The steady-state path does not allocate: the
+// op is a packed integer, the payload is the cached stripe, and GET
+// verification compares the server's buffer in place.
+func (c *Cluster) dispatch(di int, it sched.Item) {
+	d := c.drives[di]
+	c.applySchedule(di, d.clock.Now().Sub(c.origin))
+	flags := uint8(it.ID)
+	if flags&evRepair != 0 {
+		rp := &c.repairBuf[int32(it.ID>>24)]
+		_, resp := d.server.HandleObjectShared(netstore.Put, int(rp.object), c.stripes[rp.object][rp.shard])
+		rp.ok = resp.Err == nil
+		return
+	}
+	ri := int32(it.ID >> 24)
+	shard := int(uint16(it.ID >> 8))
+	r := &c.reqsBuf[ri]
+	op, bits := netstore.Get, uint8(0)
+	var payload []byte
+	if flags&evPut != 0 {
+		op, bits = netstore.Put, opPut
+		payload = c.stripes[r.object][shard]
+	}
+	data, resp := d.server.HandleObjectShared(op, int(r.object), payload)
+	if resp.Err == nil {
+		bits |= opOK
+		if flags&evPut == 0 {
+			stripe := c.stripes[r.object][shard]
+			if bytes.Equal(data, stripe) {
+				bits |= opFull | opTrunc
+			} else {
+				// A data shard's tail past the object size is padding the
+				// join drops; judge the real-byte prefix separately.
+				if tl := c.cfg.ObjectSize - shard*c.shardSize; shard < c.coder.DataShards() && tl < c.shardSize {
+					if tl < 0 {
+						tl = 0
+					}
+					if bytes.Equal(data[:tl], stripe[:tl]) {
+						bits |= opTrunc
+					}
+				}
+				d.retained = append(d.retained, retainedShard{
+					req: ri, shard: uint16(shard), data: append([]byte(nil), data...)})
+			}
+		}
+	}
+	d.results = append(d.results, opResult{
+		end: int64(d.clock.Now().Sub(c.origin)), req: ri, shard: uint16(shard), bits: bits})
+}
+
+// combine folds every drive's epoch results into the request arena and
+// the run counters, serially in drive order. All folds are commutative
+// across drives (counter increments, max of end times; the fail list is
+// sorted before use), so the fold order never shows in the output.
+func (c *Cluster) combine(reqs []reqState, res *ServeResult) {
+	for _, d := range c.drives {
+		for i := range d.results {
+			rec := &d.results[i]
+			r := &reqs[rec.req]
+			if rec.bits&opPut != 0 {
+				res.ShardWrites++
+			} else {
+				res.ShardReads++
+			}
+			switch {
+			case rec.bits&opOK != 0:
+				r.shardOK++
+				if rec.bits&opPut == 0 {
+					if rec.bits&opFull == 0 {
+						r.flags &^= reqAllFull
+					}
+					if rec.bits&opTrunc == 0 {
+						r.flags &^= reqAllDirect
+					}
+				}
+			case rec.bits&opPut != 0:
+				res.ShardWriteErrors++
+			default:
+				res.ShardReadErrors++
+				r.failCount++
+				c.failedBuf = append(c.failedBuf, failRec{req: rec.req, shard: rec.shard})
+			}
+			if rec.end > r.end {
+				r.end = rec.end
+			}
+		}
+		d.results = d.results[:0]
+		for _, rb := range d.retained {
+			c.retained[retKey{rb.req, rb.shard}] = rb.data
+		}
+		d.retained = d.retained[:0]
+	}
+}
+
+// verifyExact is the slow-path corruption check for a degraded GET whose
+// surviving shards did not all match their stripes: rebuild the exact
+// shard set the client held (stripe bytes for matching shards, retained
+// device bytes for mismatched ones), reconstruct, join, and compare
+// against the object's expected content — byte-for-byte the eager path's
+// pre-cache decode check.
+func (c *Cluster) verifyExact(ri int32, r *reqState, fails []failRec, res *ServeResult) error {
 	shards := make([][]byte, c.coder.TotalShards())
-	copy(shards, r.got)
+	for j := 0; j < int(r.nextShard); j++ {
+		failed := false
+		for _, f := range fails {
+			if int(f.shard) == j {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			continue
+		}
+		src := c.stripes[r.object][j]
+		if data, ok := c.retained[retKey{ri, uint16(j)}]; ok {
+			src = data
+		}
+		shards[j] = append([]byte(nil), src...)
+	}
 	dataIntact := true
 	for j := 0; j < c.coder.DataShards(); j++ {
 		if shards[j] == nil {
@@ -361,7 +604,7 @@ func (c *Cluster) verifyRead(r *request, res *ServeResult) error {
 	if err != nil {
 		return fmt.Errorf("cluster: join object %d: %w", r.object, err)
 	}
-	expect := objectPayload(r.object, c.cfg.ObjectSize)
+	expect := objectPayload(int(r.object), c.cfg.ObjectSize)
 	for i := range data {
 		if data[i] != expect[i] {
 			res.CorruptReads++
@@ -369,43 +612,4 @@ func (c *Cluster) verifyRead(r *request, res *ServeResult) error {
 		}
 	}
 	return nil
-}
-
-// runRound executes one batch of shard ops: ops are split into per-drive
-// FIFO queues preserving global order, then each drive runs its queue on
-// its own clock.
-func (c *Cluster) runRound(ops []shardOp) error {
-	queues := make([][]int, len(c.drives))
-	for i := range ops {
-		queues[ops[i].drive] = append(queues[ops[i].drive], i)
-	}
-	_, err := parallel.Run(context.Background(), parallel.Indices(len(c.drives)), c.cfg.Workers,
-		func(_ context.Context, di int, _ int) (struct{}, error) {
-			d := c.drives[di]
-			for _, oi := range queues[di] {
-				op := &ops[oi]
-				start := op.arrival
-				if now := d.clock.Now().Sub(c.origin); now > start {
-					start = now
-				} else {
-					d.clock.Advance(start - now)
-				}
-				c.applySchedule(di, start)
-				var payload []byte
-				if op.op == netstore.Put {
-					payload = op.data
-					if payload == nil {
-						payload = c.stripes[op.object][op.shard]
-					}
-				}
-				data, resp := d.server.HandleObject(op.op, op.object, payload)
-				op.ok = resp.Err == nil
-				op.end = d.clock.Now().Sub(c.origin)
-				if op.ok && op.op == netstore.Get {
-					op.data = data
-				}
-			}
-			return struct{}{}, nil
-		})
-	return err
 }

@@ -34,11 +34,17 @@ type ClusterSpec struct {
 	// MaxSpeakers is the top of the attacker ladder; cells run speaker
 	// counts 0..MaxSpeakers (default: Containers).
 	MaxSpeakers int
+	// Cells, when non-nil, restricts the sweep to these speaker counts
+	// (each clamped to 0..MaxSpeakers) instead of the full ladder — the
+	// way a single huge-workload cell is run without paying for the whole
+	// ladder.
+	Cells []int
 	// Requests, Rate, and ReadFraction shape the client workload
-	// (defaults 240 requests at 250 req/s, 90% reads).
+	// (defaults 240 requests at 250 req/s, 90% reads). ReadFraction nil
+	// means the default 0.9; cluster.Ptr(0.0) is a write-only workload.
 	Requests     int
 	Rate         float64
-	ReadFraction float64
+	ReadFraction *float64
 	// AttackStartFrac and AttackStopFrac key the speakers on during
 	// [start, stop] of the nominal request window, so the cluster serves
 	// load before, during, and after the attack (defaults 0.25, 0.75).
@@ -49,6 +55,10 @@ type ClusterSpec struct {
 	// Workers bounds the ladder fan-out (≤ 0 = one per CPU); results are
 	// identical for any worker count.
 	Workers int
+	// CellWorkers bounds the drive fan-out inside each cell's cluster
+	// (default 1 — the ladder is usually the fan-out axis). Raise it when
+	// running one huge cell via Cells; results never depend on it.
+	CellWorkers int
 	// Metrics receives engine and per-layer counters when non-nil.
 	Metrics *metrics.Registry
 }
@@ -87,8 +97,8 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 	if s.Rate <= 0 {
 		s.Rate = 250
 	}
-	if s.ReadFraction <= 0 {
-		s.ReadFraction = 0.9
+	if s.ReadFraction == nil {
+		s.ReadFraction = cluster.Ptr(0.9)
 	}
 	if s.AttackStartFrac <= 0 {
 		s.AttackStartFrac = 0.25
@@ -101,6 +111,9 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if s.CellWorkers <= 0 {
+		s.CellWorkers = 1
 	}
 	return s
 }
@@ -123,7 +136,20 @@ func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
 	spec = spec.withDefaults()
 	tone := sig.NewTone(spec.Freq)
 	window := time.Duration(float64(spec.Requests) / spec.Rate * float64(time.Second))
-	return parallel.RunObserved(context.Background(), parallel.Indices(spec.MaxSpeakers+1), spec.Workers, spec.Metrics,
+	cells := spec.Cells
+	if cells == nil {
+		cells = parallel.Indices(spec.MaxSpeakers + 1)
+	} else {
+		cells = append([]int(nil), cells...)
+		for i, s := range cells {
+			if s < 0 {
+				cells[i] = 0
+			} else if s > spec.MaxSpeakers {
+				cells[i] = spec.MaxSpeakers
+			}
+		}
+	}
+	return parallel.RunObserved(context.Background(), cells, spec.Workers, spec.Metrics,
 		func(_ context.Context, _ int, speakers int) (ClusterResult, error) {
 			targets := make([]int, speakers)
 			for i := range targets {
@@ -137,8 +163,8 @@ func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
 				ParityShards:       spec.ParityShards,
 				Objects:            spec.Objects,
 				ObjectSize:         spec.ObjectSize,
-				Seed:               parallel.SeedFor(spec.Seed, speakers),
-				Workers:            1, // the ladder is the fan-out axis
+				Seed:               cluster.Ptr(parallel.SeedFor(spec.Seed, speakers)),
+				Workers:            spec.CellWorkers,
 			})
 			if err != nil {
 				return ClusterResult{}, err
@@ -162,7 +188,7 @@ func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
 				Requests:     spec.Requests,
 				Rate:         spec.Rate,
 				ReadFraction: spec.ReadFraction,
-				Seed:         parallel.SeedFor(spec.Seed, 1000+speakers),
+				Seed:         cluster.Ptr(parallel.SeedFor(spec.Seed, 1000+speakers)),
 			})
 			if err != nil {
 				return ClusterResult{}, err

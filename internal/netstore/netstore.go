@@ -171,6 +171,9 @@ type Server struct {
 	clock simclock.Clock
 	cfg   Config
 	rng   *rand.Rand
+	// scratch is the reused request buffer; HandleObjectShared serves
+	// GETs out of it so the hot path never allocates.
+	scratch []byte
 
 	// Circuit breaker state (resilience only).
 	breaker  breakerState
@@ -189,7 +192,8 @@ type Server struct {
 // NewServer starts a service over a device.
 func NewServer(dev blockdev.Device, clock simclock.Clock, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{dev: dev, clock: clock, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Server{dev: dev, clock: clock, cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)), scratch: make([]byte, cfg.ObjectSize)}
 }
 
 // rtt samples one network round trip.
@@ -211,16 +215,30 @@ func (s *Server) rtt() time.Duration {
 // contents (e.g. an erasure-coded store carrying real shards) use
 // HandleObject.
 func (s *Server) Handle(op Op, objectID int) Response {
-	_, resp := s.HandleObject(op, objectID, nil)
+	_, resp := s.HandleObjectShared(op, objectID, nil)
 	return resp
 }
 
 // HandleObject is Handle with an explicit payload. For PUTs, data is
 // stored (zero-padded to the object size; nil keeps Handle's fixed
-// pattern). For successful GETs the object's bytes are returned. Timing,
-// retry behavior, and the jitter RNG draw sequence are identical to
-// Handle.
+// pattern). For successful GETs the object's bytes are returned in a
+// fresh buffer the caller owns. Timing, retry behavior, and the jitter
+// RNG draw sequence are identical to Handle.
 func (s *Server) HandleObject(op Op, objectID int, data []byte) ([]byte, Response) {
+	got, resp := s.HandleObjectShared(op, objectID, data)
+	if got != nil {
+		got = append([]byte(nil), got...)
+	}
+	return got, resp
+}
+
+// HandleObjectShared is HandleObject without the defensive copy: a
+// successful GET returns a slice aliasing the server's internal request
+// buffer, valid only until the next request on this server. It is the
+// zero-allocation path the cluster serving engine runs millions of
+// operations through; PUTs whose payload is exactly the object size are
+// written straight from the caller's slice with no staging copy.
+func (s *Server) HandleObjectShared(op Op, objectID int, data []byte) ([]byte, Response) {
 	s.Requests++
 	if objectID < 0 || objectID >= s.cfg.Objects {
 		s.Errors++
@@ -246,21 +264,27 @@ func (s *Server) HandleObject(op Op, objectID int, data []byte) ([]byte, Respons
 		s.breaker = breakerHalfOpen
 	}
 
-	buf := make([]byte, s.cfg.ObjectSize)
+	buf := s.scratch
 	off := int64(objectID) * int64(s.cfg.ObjectSize)
+	if op == Put {
+		switch {
+		case data == nil:
+			for i := range buf {
+				buf[i] = byte(objectID + i)
+			}
+		case len(data) == len(buf):
+			// Full-size payload: write straight from the caller's slice.
+			buf = data
+		default:
+			n := copy(buf, data)
+			for i := n; i < len(buf); i++ {
+				buf[i] = 0
+			}
+		}
+	}
 	attempt := func() error {
 		var err error
 		if op == Put {
-			if data == nil {
-				for i := range buf {
-					buf[i] = byte(objectID + i)
-				}
-			} else {
-				n := copy(buf, data)
-				for i := n; i < len(buf); i++ {
-					buf[i] = 0
-				}
-			}
 			_, err = s.dev.WriteAt(buf, off)
 		} else {
 			_, err = s.dev.ReadAt(buf, off)

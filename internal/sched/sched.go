@@ -1,0 +1,239 @@
+// Package sched is the discrete-event core of the facility-scale
+// simulation: a deterministic binary-heap event queue over the virtual
+// time base (simclock), plus a cache for precomputed source→target
+// transfer functions.
+//
+// # Event model
+//
+// The simulator is a conservative, epoch-synchronized discrete-event
+// system. Every stateful resource (a drive stack) consumes its own event
+// stream in (time, sequence) order from a Queue; events never migrate
+// between resources, so resources can be dispatched concurrently with
+// results that are byte-identical at any worker count. Cross-resource
+// causality (a degraded read spawning parity fetches on other drives)
+// is resolved at epoch boundaries: events spawned while draining epoch N
+// are enqueued for epoch N+1. Within a resource, ties in event time are
+// broken by the queue's monotone sequence number — the global issue
+// order — so an arrival schedule that collides at nanosecond granularity
+// still dispatches deterministically.
+//
+// # Transfer-function cache
+//
+// TransferCache memoizes the per-(source, target) gain of a physical
+// transfer chain — in the Deep Note facility, the acoustic path from an
+// attacker speaker through water, container wall, and mount to one
+// drive's off-track response. Walking that chain costs dozens of
+// transcendental evaluations; the serving hot path must never do it
+// per operation. The invalidation rules:
+//
+//   - Geometry change (sources or targets added, removed, or moved)
+//     invalidates the whole cache. Ensure detects dimension changes
+//     itself; a same-shape move must call Invalidate explicitly.
+//   - Excitation-set change (a source's tone frequency or drive level
+//     re-tuned) invalidates the rows of the affected sources; since the
+//     cache does not track tones, callers signal this with Invalidate.
+//   - Keying sources on and off does NOT invalidate: an active-set mask
+//     only selects which cached gains are superposed. This is what makes
+//     attack schedules free — any on/off pattern over a fixed speaker
+//     set reuses the same matrix.
+//
+// The cluster package builds the cache once at construction (its layout
+// and speaker tones are immutable afterwards) and superposes cached
+// gains per schedule step.
+package sched
+
+import (
+	"time"
+
+	"deepnote/internal/simclock"
+)
+
+// Item is one queued event: a time, a deterministic tie-break sequence,
+// and an opaque caller payload. Items are plain data (no closures) so a
+// warm queue pushes and pops without allocating.
+type Item struct {
+	// At is the event time in nanoseconds relative to the caller's
+	// origin.
+	At int64
+	// Seq is the queue-assigned issue number; events with equal At
+	// dispatch in Seq order.
+	Seq uint64
+	// ID is the caller's payload, typically a packed operation
+	// descriptor.
+	ID uint64
+}
+
+// before reports whether a sorts ahead of b: earlier time first, issue
+// order breaking ties.
+func (a Item) before(b Item) bool {
+	return a.At < b.At || (a.At == b.At && a.Seq < b.Seq)
+}
+
+// Queue is a deterministic binary-heap event queue. The zero value is
+// ready to use. Not safe for concurrent use: in the epoch model each
+// resource owns exactly one queue.
+type Queue struct {
+	items []Item
+	seq   uint64
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Grow ensures capacity for n additional events without reallocation,
+// so bulk issue (a traffic epoch) and the dispatch loop stay
+// allocation-free.
+func (q *Queue) Grow(n int) {
+	if need := len(q.items) + n; need > cap(q.items) {
+		items := make([]Item, len(q.items), need)
+		copy(items, q.items)
+		q.items = items
+	}
+}
+
+// Reset drops all queued events and restarts the sequence counter,
+// keeping the allocated storage for reuse.
+func (q *Queue) Reset() {
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
+// Push enqueues an event at time at (ns) carrying id, and returns the
+// assigned sequence number. Pushing in nondecreasing time order costs
+// O(1); out-of-order pushes cost O(log n).
+func (q *Queue) Push(at int64, id uint64) uint64 {
+	seq := q.seq
+	q.seq++
+	q.items = append(q.items, Item{At: at, Seq: seq, ID: id})
+	q.siftUp(len(q.items) - 1)
+	return seq
+}
+
+// Peek returns the next event without removing it; ok is false when the
+// queue is empty.
+func (q *Queue) Peek() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	return q.items[0], true
+}
+
+// Pop removes and returns the next event in (At, Seq) order; ok is
+// false when the queue is empty.
+func (q *Queue) Pop() (Item, bool) {
+	n := len(q.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items = q.items[:n-1]
+	if len(q.items) > 1 {
+		q.siftDown(0)
+	}
+	return top, true
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.items[i].before(q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && q.items[l].before(q.items[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && q.items[r].before(q.items[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
+}
+
+// Runner drains a Queue against a virtual clock: each event is handed to
+// the handler with the clock advanced to at least the event time (the
+// clock never rewinds — an event whose time has already passed runs at
+// the resource's current time, modeling a backlogged server). The
+// handler may push follow-up events; they dispatch in order within the
+// same drain.
+type Runner struct {
+	Queue Queue
+	Clock *simclock.Virtual
+}
+
+// Run dispatches events until the queue is empty. origin anchors event
+// times: an event at time t dispatches with the clock at or beyond
+// origin+t. The handler receives each item in deterministic (At, Seq)
+// order per the queue discipline.
+func (r *Runner) Run(origin time.Time, handle func(Item)) {
+	for {
+		it, ok := r.Queue.Pop()
+		if !ok {
+			return
+		}
+		if now := r.Clock.Now().Sub(origin); int64(now) < it.At {
+			r.Clock.Advance(time.Duration(it.At - int64(now)))
+		}
+		handle(it)
+	}
+}
+
+// TransferCache memoizes per-(source, target) transfer gains. See the
+// package documentation for the invalidation rules. The zero value is an
+// empty, invalid cache.
+type TransferCache struct {
+	sources, targets int
+	gains            []float64
+	built            bool
+}
+
+// Built reports whether the cache currently holds a valid matrix.
+func (c *TransferCache) Built() bool { return c.built }
+
+// Invalidate drops the cached matrix. The next Ensure rebuilds it.
+func (c *TransferCache) Invalidate() { c.built = false }
+
+// Ensure makes the cache valid for a sources×targets geometry, calling
+// fill exactly once per pair on (re)build. A dimension change implies a
+// geometry change and rebuilds; a same-shape geometry or excitation
+// change must be signaled with Invalidate first.
+func (c *TransferCache) Ensure(sources, targets int, fill func(source, target int) float64) {
+	if c.built && c.sources == sources && c.targets == targets {
+		return
+	}
+	c.sources, c.targets = sources, targets
+	if need := sources * targets; cap(c.gains) < need {
+		c.gains = make([]float64, need)
+	} else {
+		c.gains = c.gains[:need]
+	}
+	for s := 0; s < sources; s++ {
+		for t := 0; t < targets; t++ {
+			c.gains[s*targets+t] = fill(s, t)
+		}
+	}
+	c.built = true
+}
+
+// Gain returns the cached source→target gain. Callers must Ensure
+// first; an unbuilt cache panics (a zero gain would silently disarm the
+// attack model).
+func (c *TransferCache) Gain(source, target int) float64 {
+	if !c.built {
+		panic("sched: TransferCache.Gain before Ensure")
+	}
+	return c.gains[source*c.targets+target]
+}
