@@ -32,6 +32,10 @@ func cmdCluster(args []string) error {
 	cellWorkers := fs.Int("cell-workers", 1, "drive fan-out inside each cell (never changes results)")
 	attackStart := fs.Float64("attack-start", 0.25, "attack-on point as a fraction of the request window")
 	attackStop := fs.Float64("attack-stop", 0.75, "attack-off point as a fraction of the window (>= 1: never off)")
+	attackStagger := fs.Float64("attack-stagger", 0, "stagger key-ons by this fraction of the window (0 = all at once)")
+	defenseOn := fs.Bool("defense", false, "close the loop: hydrophone fixes steer the store in every cell")
+	hydrophones := fs.Int("hydrophones", 6, "hydrophone ring elements (with -defense)")
+	standoff := fs.Float64("standoff", 3, "hydrophone ring standoff in meters (with -defense)")
 	seed := fs.Int64("seed", 1, "base seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
 	o := addObsFlags(fs)
@@ -52,6 +56,10 @@ func cmdCluster(args []string) error {
 		ReadFraction:       cluster.Ptr(*readFrac),
 		AttackStartFrac:    *attackStart,
 		AttackStopFrac:     *attackStop,
+		StaggerFrac:        *attackStagger,
+		Defense:            *defenseOn,
+		Hydrophones:        *hydrophones,
+		Standoff:           units.Distance(*standoff) * units.Meter,
 		Seed:               *seed,
 		Workers:            *workers,
 		CellWorkers:        *cellWorkers,

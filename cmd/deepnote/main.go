@@ -9,7 +9,8 @@
 //	deepnote table3
 //	deepnote sweep  [-scenario 1|2|3] [-pattern write|read] [-workers N]
 //	deepnote fleet  [-containers N] [-drives N] [-spacing M] [-workers N]
-//	deepnote cluster [-containers N] [-data K] [-parity M] [-speakers N] [-workers N]
+//	deepnote cluster [-containers N] [-data K] [-parity M] [-speakers N] [-defense] [-workers N]
+//	deepnote sonar  [-hydrophones N] [-standoff M] [-speakers N] [-workers N]
 //	deepnote range  [-scenario 1|2|3] [-freq HZ]
 //	deepnote crash  [-target ext4|ubuntu|rocksdb]
 //	deepnote defense [-scenario 1|2|3] [-distance CM]
@@ -101,6 +102,8 @@ func main() {
 		err = cmdFleet(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "sonar":
+		err = cmdSonar(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
 	case "integrity":
@@ -149,6 +152,7 @@ commands:
   ultrasonic  shock-sensor vector reachability through the enclosure
   fleet     facility availability vs attacker speaker count
   cluster   erasure-coded datacenter serving traffic under a speaker ladder
+  sonar     closed-loop defense: hydrophone localization steering the store
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
   selfcheck differential check: analytic oracle vs Monte-Carlo simulation

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// defenseScenario builds the PR 5 one-speaker-past-the-cliff scenario
+// with staged escalation: 4+2 over six containers, speakers pressed
+// against containers 0, 1, 2 keying on one at a time. Three silenced
+// failure domains exceed the parity budget, so defense-off reads start
+// hard-failing after the third key-on.
+func defenseScenario(t *testing.T, workers int, defended bool) (*Cluster, ServeResult) {
+	t.Helper()
+	tone := sig.NewTone(650 * units.Hz)
+	lay := LineLayout(6, 2*units.Meter).WithSpeakersAt(tone, 0, 1, 2)
+	c, err := New(Config{
+		Layout:     lay,
+		DataShards: 4, ParityShards: 2,
+		Objects: 24, ObjectSize: 16 << 10,
+		Seed:    Ptr(int64(7)),
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	// Staged escalation over a 1.2 s client window (600 req @ 500/s):
+	// key-ons at 0.3, 0.6, 0.9 s.
+	steps := []ScheduleStep{
+		{At: 300 * time.Millisecond, Active: []bool{true, false, false}},
+		{At: 600 * time.Millisecond, Active: []bool{true, true, false}},
+		{At: 900 * time.Millisecond, Active: []bool{true, true, true}},
+	}
+	c.SetSchedule(steps)
+	if defended {
+		// Hand-built fixes standing in for the sonar layer: each key-on
+		// localized to the true speaker position with a 20 cm error
+		// radius, available 120 ms after the onset (propagation + one
+		// processing window).
+		var fixes []SourceFix
+		for i, st := range steps {
+			fixes = append(fixes, SourceFix{
+				At:   st.At + 120*time.Millisecond,
+				Pos:  lay.Speakers[i].Pos,
+				Err:  20 * units.Centimeter,
+				Tone: tone,
+			})
+		}
+		if err := c.SetDefense(DefenseSpec{Fixes: fixes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Serve(TrafficSpec{Requests: 600, Rate: 500, Seed: Ptr(int64(11))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+// TestDefenseImprovesAvailabilityPastCliff is the acceptance scenario:
+// under staged escalation one speaker past the parity budget, the closed
+// loop must measurably improve GET availability over defense-off, with
+// zero corrupt serves either way.
+func TestDefenseImprovesAvailabilityPastCliff(t *testing.T) {
+	_, off := defenseScenario(t, 0, false)
+	con, on := defenseScenario(t, 0, true)
+
+	if off.CorruptReads != 0 || on.CorruptReads != 0 {
+		t.Fatalf("corrupt reads: off=%d on=%d, want 0", off.CorruptReads, on.CorruptReads)
+	}
+	if off.GetFailures == 0 {
+		t.Fatalf("defense-off saw no GET failures — the scenario never went past the cliff")
+	}
+	offAvail, onAvail := off.GetAvailability(), on.GetAvailability()
+	if onAvail <= offAvail {
+		t.Fatalf("defense did not improve GET availability: off %.4f, on %.4f", offAvail, onAvail)
+	}
+	if onAvail-offAvail < 0.05 {
+		t.Fatalf("defense improvement not measurable: off %.4f, on %.4f", offAvail, onAvail)
+	}
+	if !con.Defended() {
+		t.Fatalf("Defended() false after SetDefense")
+	}
+	if on.EvacWrites == 0 || on.ReplicaReads == 0 || on.SteeredGets == 0 {
+		t.Fatalf("defense machinery idle: evacs=%d replicaReads=%d steered=%d",
+			on.EvacWrites, on.ReplicaReads, on.SteeredGets)
+	}
+	if planned, _ := con.DefenseEvacsPlanned(); planned != on.EvacWrites {
+		t.Fatalf("EvacWrites %d != planned %d", on.EvacWrites, planned)
+	}
+	// Defense-off must report none of the defense counters.
+	if off.SteeredGets+off.ReplicaReads+off.ReplicaReadErrors+off.EvacWrites+off.EvacFailures+off.EvacSkipped != 0 {
+		t.Fatalf("defense-off run reported defense activity: %+v", off)
+	}
+}
+
+// TestDefenseDeterministicAcrossWorkers runs the defended scenario at
+// several worker counts and requires byte-identical results.
+func TestDefenseDeterministicAcrossWorkers(t *testing.T) {
+	_, base := defenseScenario(t, 1, true)
+	for _, w := range []int{2, 8} {
+		if _, res := defenseScenario(t, w, true); !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d diverged from workers=1:\n 1: %+v\n %d: %+v", w, base, w, res)
+		}
+	}
+}
+
+// TestDefenseEmptyFixesDisables checks SetDefense([]) returns the
+// cluster to the exact defense-off behavior.
+func TestDefenseEmptyFixesDisables(t *testing.T) {
+	_, off := defenseScenario(t, 0, false)
+
+	tone := sig.NewTone(650 * units.Hz)
+	lay := LineLayout(6, 2*units.Meter).WithSpeakersAt(tone, 0, 1, 2)
+	c, err := New(Config{
+		Layout:     lay,
+		DataShards: 4, ParityShards: 2,
+		Objects: 24, ObjectSize: 16 << 10,
+		Seed: Ptr(int64(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSchedule([]ScheduleStep{
+		{At: 300 * time.Millisecond, Active: []bool{true, false, false}},
+		{At: 600 * time.Millisecond, Active: []bool{true, true, false}},
+		{At: 900 * time.Millisecond, Active: []bool{true, true, true}},
+	})
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{{At: time.Second}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefense(DefenseSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Defended() {
+		t.Fatalf("Defended() true after SetDefense with no fixes")
+	}
+	res, err := c.Serve(TrafficSpec{Requests: 600, Rate: 500, Seed: Ptr(int64(11))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off, res) {
+		t.Fatalf("disabled defense diverged from never-enabled:\n off: %+v\n res: %+v", off, res)
+	}
+}
+
+// TestDefenseEvacTargetsAvoidBlastRadius checks the compiled plan never
+// re-places a shard onto a container inside the predicted radius at the
+// phase the write happens.
+func TestDefenseEvacTargetsAvoidBlastRadius(t *testing.T) {
+	con, _ := defenseScenario(t, 0, true)
+	ds := con.defense
+	if ds == nil {
+		t.Fatal("no defense plan")
+	}
+	if len(ds.phases) != 3 {
+		t.Fatalf("got %d phases, want 3 (one per staged fix)", len(ds.phases))
+	}
+	for _, ev := range ds.evacs {
+		p := ds.phaseFor(ev.at)
+		if p < 0 {
+			t.Fatalf("evac at %d ns predates every phase", ev.at)
+		}
+		ct := con.drives[ev.drive].container
+		if ds.phases[p].atRisk[ct] {
+			t.Fatalf("evac of object %d shard %d targets container %d inside the phase-%d blast radius",
+				ev.object, ev.shard, ct, p)
+		}
+	}
+	// Escalation must accumulate: each phase's radius contains the last.
+	for p := 1; p < len(ds.phases); p++ {
+		for ct, hot := range ds.phases[p-1].atRisk {
+			if hot && !ds.phases[p].atRisk[ct] {
+				t.Fatalf("container %d left the blast radius between phases %d and %d", ct, p-1, p)
+			}
+		}
+	}
+}

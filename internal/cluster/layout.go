@@ -54,9 +54,12 @@ const PointBlank = 1 * units.Centimeter
 // the medium (spreading + absorption, optional Lloyd's-mirror surface
 // bounce), replacing hop-count sketches with geometry.
 type Layout struct {
-	// Medium is the shared water body; the zero value defaults to the
-	// tank medium the chain is calibrated in.
-	Medium water.Medium
+	// Medium is the shared water body. nil means "unset" and defaults to
+	// the tank medium the chain is calibrated in; an explicit pointer is
+	// always honored, including a legitimately all-zero medium (0 °C
+	// freshwater at the surface, pH unset). Pointer semantics distinguish
+	// zero from unset, the same convention as TrafficSpec.ReadFraction.
+	Medium *water.Medium
 	// SurfaceDepth, when positive, enables the surface-reflection
 	// interference term on every path (source and targets at this depth).
 	SurfaceDepth units.Distance
@@ -70,7 +73,7 @@ type Layout struct {
 // pitch, all Scenario 2 (plastic container, storage tower) in the tank
 // medium. The standard starting point for datacenter experiments.
 func GridLayout(rows, cols int, pitch units.Distance) Layout {
-	l := Layout{Medium: water.FreshwaterTank()}
+	l := Layout{Medium: Ptr(water.FreshwaterTank())}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			l.Containers = append(l.Containers, ContainerSite{
@@ -91,11 +94,17 @@ func LineLayout(n int, spacing units.Distance) Layout { return GridLayout(1, n, 
 // against each of the named containers (co-located positions; the
 // point-blank clamp supplies the paper's 1 cm standoff), all emitting the
 // same tone. This is the "silence a failure domain" attacker.
+//
+// It panics on an out-of-range container index: a typo'd index used to be
+// skipped silently, which made the intended speaker vanish and quietly
+// weakened every experiment built on the layout. The builder idiom keeps
+// the chainable signature, so a bad index is a programming error, not a
+// runtime condition to thread through.
 func (l Layout) WithSpeakersAt(tone sig.Tone, containers ...int) Layout {
 	speakers := make([]SpeakerSite, 0, len(containers))
 	for _, c := range containers {
 		if c < 0 || c >= len(l.Containers) {
-			continue
+			panic(fmt.Sprintf("cluster: WithSpeakersAt container index %d outside [0, %d)", c, len(l.Containers)))
 		}
 		speakers = append(speakers, SpeakerSite{
 			Name: "spk@" + l.Containers[c].Name,
@@ -107,13 +116,21 @@ func (l Layout) WithSpeakersAt(tone sig.Tone, containers ...int) Layout {
 	return l
 }
 
-// medium returns the effective water medium.
+// medium returns the effective water medium: the explicitly set one, or
+// the tank default when Medium is nil. An explicit all-zero medium is
+// honored, never silently replaced.
 func (l Layout) medium() water.Medium {
-	if l.Medium == (water.Medium{}) {
+	if l.Medium == nil {
 		return water.FreshwaterTank()
 	}
-	return l.Medium
+	return *l.Medium
 }
+
+// EffectiveMedium exposes the medium the layout's acoustic paths run
+// through (the tank default when Medium is unset), so co-located sensing
+// systems — hydrophone arrays in internal/sonar — model propagation in
+// the same water the attack crosses.
+func (l Layout) EffectiveMedium() water.Medium { return l.medium() }
 
 // Validate checks the layout.
 func (l Layout) Validate() error {
@@ -186,6 +203,31 @@ func (l Layout) SpeakerAmp(s, c int, asm enclosure.Assembly, model hdd.Model) (u
 		return tone.Freq, 0
 	}
 	pressure := l.ChainTo(s, c).IncidentPressure(tone).Pascals()
+	return tone.Freq, model.OffTrack(tone.Freq, pressure*asm.StructuralGain(tone.Freq))
+}
+
+// PredictedAmp evaluates the transfer chain from a hypothesized source —
+// a defense localization fix — to a drive mounted (with assembly asm) in
+// container c, mirroring SpeakerAmp but for a position the defender only
+// estimated. slack is the localization uncertainty: the path length is
+// conservatively shortened by it (the source may be that much closer than
+// the estimate says) before the PointBlank clamp. Returns the tone
+// frequency and the predicted off-track amplitude.
+func (l Layout) PredictedAmp(pos Vec3, slack units.Distance, tone sig.Tone, c int, asm enclosure.Assembly, model hdd.Model) (units.Frequency, float64) {
+	tone = tone.Normalize()
+	if tone.Amplitude == 0 || tone.Freq <= 0 {
+		return tone.Freq, 0
+	}
+	d := Between(pos, l.Containers[c].Pos) - slack
+	if d < PointBlank {
+		d = PointBlank
+	}
+	chain := acoustics.Chain{
+		Amp:     acoustics.BG2120(),
+		Speaker: acoustics.AQ339(),
+		Path:    acoustics.Path{Medium: l.medium(), Distance: d, SurfaceDepth: l.SurfaceDepth},
+	}
+	pressure := chain.IncidentPressure(tone).Pascals()
 	return tone.Freq, model.OffTrack(tone.Freq, pressure*asm.StructuralGain(tone.Freq))
 }
 

@@ -6,6 +6,7 @@ import (
 	"deepnote/internal/hdd"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
+	"deepnote/internal/water"
 )
 
 // TestLayoutPointBlankClamp: a speaker co-located with its target is the
@@ -104,5 +105,55 @@ func TestLayoutSilencesTargetOnly(t *testing.T) {
 	if margin := model.WriteFaultFrac - neighbor; margin < 5*model.BaseJitterFrac {
 		t.Fatalf("neighbor amp %.4f too close to write fault %.2f (margin %.4f)",
 			neighbor, model.WriteFaultFrac, margin)
+	}
+}
+
+// TestLayoutMediumZeroVsUnset pins the pointer semantics of
+// Layout.Medium: nil means "use the tank default", while an explicit
+// pointer — even to an all-zero Medium (0 °C freshwater at the surface)
+// — is honored. The value-type version of this field silently swapped a
+// legitimate zero medium for the tank default.
+func TestLayoutMediumZeroVsUnset(t *testing.T) {
+	unset := LineLayout(2, 1*units.Meter)
+	unset.Medium = nil
+	if got, want := unset.EffectiveMedium(), water.FreshwaterTank(); got != want {
+		t.Fatalf("nil Medium: EffectiveMedium = %v, want tank default %v", got, want)
+	}
+
+	zero := LineLayout(2, 1*units.Meter)
+	zero.Medium = Ptr(water.Medium{})
+	if got := zero.EffectiveMedium(); got != (water.Medium{}) {
+		t.Fatalf("explicit zero Medium replaced with %v", got)
+	}
+	// The distinction must be observable in the physics, not just the
+	// struct: 0 °C water carries sound measurably slower than the 21 °C
+	// tank (~1403 vs ~1481 m/s).
+	if cz, ct := zero.EffectiveMedium().SoundSpeed(), unset.EffectiveMedium().SoundSpeed(); cz >= ct {
+		t.Fatalf("zero-medium sound speed %.1f not below tank %.1f — zero was not honored", cz, ct)
+	}
+}
+
+// TestWithSpeakersAtPanicsOutOfRange pins the bugfix for silently
+// skipped out-of-range speaker indices: both edges beyond the container
+// range panic, both boundary indices inside it do not.
+func TestWithSpeakersAtPanicsOutOfRange(t *testing.T) {
+	tone := sig.NewTone(650 * units.Hz)
+	l := LineLayout(3, 1*units.Meter)
+
+	mustPanic := func(idx int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("WithSpeakersAt(%d) did not panic", idx)
+			}
+		}()
+		l.WithSpeakersAt(tone, idx)
+	}
+	mustPanic(-1)
+	mustPanic(len(l.Containers))
+
+	got := l.WithSpeakersAt(tone, 0, len(l.Containers)-1)
+	if len(got.Speakers) != 2 {
+		t.Fatalf("boundary indices produced %d speakers, want 2", len(got.Speakers))
 	}
 }

@@ -141,6 +141,10 @@ type Cluster struct {
 	// vibs[step][drive] is the precomputed superposed vibration.
 	vibs [][]hdd.Vibration
 
+	// defense is the compiled closed-loop defense plan (nil = off). See
+	// SetDefense in defense.go.
+	defense *defenseState
+
 	origin time.Time
 	last   ServeResult
 	// latencies of successful client requests, for histograms.
@@ -194,7 +198,13 @@ func New(cfg Config) (*Cluster, error) {
 			disk := blockdev.NewDisk(drive)
 			net := cfg.Net
 			net.ObjectSize = c.shardSize
-			net.Objects = cfg.Objects
+			// The local keyspace is doubled: keys [0, Objects) hold home
+			// shards, [Objects, 2·Objects) hold defense replicas (shard
+			// re-placements steered here by an active Defense plan). With
+			// the defense off the upper half is never addressed; Objects
+			// only bounds-checks requests, so the doubling changes nothing
+			// else.
+			net.Objects = 2 * cfg.Objects
 			net.Seed = parallel.SeedFor(cfg.seed(), 2*idx+1)
 			d := &driveStack{
 				container: ct,
@@ -374,6 +384,12 @@ func (c *Cluster) PublishMetrics(reg *metrics.Registry) {
 	reg.Add("cluster.shard_writes", int64(r.ShardWrites))
 	reg.Add("cluster.shard_read_errors", int64(r.ShardReadErrors))
 	reg.Add("cluster.shard_write_errors", int64(r.ShardWriteErrors))
+	reg.Add("cluster.steered_gets", int64(r.SteeredGets))
+	reg.Add("cluster.replica_reads", int64(r.ReplicaReads))
+	reg.Add("cluster.replica_read_errors", int64(r.ReplicaReadErrors))
+	reg.Add("cluster.evac_writes", int64(r.EvacWrites))
+	reg.Add("cluster.evac_failures", int64(r.EvacFailures))
+	reg.Add("cluster.evac_skipped", int64(r.EvacSkipped))
 	reg.Add("cluster.bytes_served", r.BytesServed)
 	reg.MaxGauge("cluster.goodput_mbps", r.GoodputMBps)
 	reg.MaxGauge("cluster.p99_ms", float64(r.P99)/1e6)

@@ -97,6 +97,19 @@ type ServeResult struct {
 	// Shard-level I/O.
 	ShardReads, ShardWrites           int
 	ShardReadErrors, ShardWriteErrors int
+	// Closed-loop defense outcomes (all 0 with the defense off).
+	// SteeredGets are GETs whose initial shard set was reordered away
+	// from the at-risk region; ReplicaReads are successful shard reads
+	// served from a defense replica (ReplicaReadErrors the failed ones —
+	// a replica whose bytes mismatch its shard is a checksum miss, a
+	// failed op, never a corrupt read). EvacWrites/EvacFailures count the
+	// preemptive re-placement writes; EvacSkipped counts shards the plan
+	// could not re-place because no container was outside the predicted
+	// blast radius.
+	SteeredGets                     int
+	ReplicaReads, ReplicaReadErrors int
+	EvacWrites, EvacFailures        int
+	EvacSkipped                     int
 	// BytesServed is the object bytes moved by successful requests.
 	BytesServed int64
 	// Span is the time from first arrival to last client completion.
@@ -140,11 +153,16 @@ type reqState struct {
 	arrival int64 // ns from origin
 	end     int64 // ns from origin, max over this request's shard ops
 	object  int32
-	// nextShard is one past the highest shard issued.
+	// nextShard is one past the highest source issued: an index into the
+	// identity shard order 0..n−1, or — for a request under an active
+	// defense phase — into that phase's source order (see defenseOrder).
 	nextShard uint16
 	shardOK   uint16
 	failCount uint16
 	flags     uint8
+	// phase is 1 + the defense phase in force at arrival (0 = none: the
+	// request predates the first fix, or the defense is off).
+	phase uint8
 }
 
 // reqState flags.
@@ -165,6 +183,12 @@ const (
 const (
 	evPut uint8 = 1 << iota
 	evRepair
+	// evReplica: this GET reads the shard's defense replica (local key
+	// object+Objects on the replica's drive) instead of its home.
+	evReplica
+	// evEvac: a defense re-placement write; the request index addresses
+	// the defense plan's evac list, not the client arena.
+	evEvac
 )
 
 // packEv encodes a shard op as a queue event ID: request index (repair
@@ -188,8 +212,9 @@ type opResult struct {
 const (
 	opOK uint8 = 1 << iota
 	opPut
-	opFull  // GET payload matched the stripe shard byte-for-byte
-	opTrunc // GET payload matched through the shard's real-byte prefix
+	opFull    // GET payload matched the stripe shard byte-for-byte
+	opTrunc   // GET payload matched through the shard's real-byte prefix
+	opReplica // GET was served from a defense replica
 )
 
 // retainedShard carries the actual device bytes of a GET that mismatched
@@ -273,10 +298,33 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 			fl |= reqPut
 		}
 		reqs[i] = reqState{arrival: arrivalNS(i, spec.Rate), object: int32(zipf.Uint64()), flags: fl}
+		if c.defense != nil {
+			if p := c.defense.phaseFor(reqs[i].arrival); p >= 0 {
+				reqs[i].phase = uint8(p + 1)
+			}
+		}
 	}
 
-	// Epoch 0: PUTs stripe to all n shards; GETs try the k data shards.
+	// The defense plan's re-placement writes go on the queues first:
+	// they share activation times with the requests that will read the
+	// replicas, and pushing them ahead gives them the lower sequence
+	// numbers that break the tie (a replica must exist on a drive's
+	// timeline before the first steered read reaches it).
 	queued := 0
+	if c.defense != nil {
+		res.EvacSkipped = c.defense.skipped
+		for i := range c.defense.evacs {
+			ev := &c.defense.evacs[i]
+			ev.ok = false
+			c.drives[ev.drive].runner.Queue.Push(ev.at, packEv(int32(i), int(ev.shard), evPut|evEvac))
+			queued++
+		}
+	}
+
+	// Epoch 0: PUTs stripe to all n shards; GETs try their first k
+	// sources — the k data shards, or under an active defense phase the
+	// first k entries of the phase's source order (healthy homes and
+	// replicas ahead of anything inside the predicted blast radius).
 	for ri := range reqs {
 		r := &reqs[ri]
 		limit, fl := k, uint8(0)
@@ -287,6 +335,21 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 			res.Gets++
 		}
 		r.nextShard = uint16(limit)
+		if order := c.defenseOrder(r); order != nil && r.flags&reqPut == 0 {
+			steered := false
+			for idx := 0; idx < limit; idx++ {
+				di, j, sfl := c.resolveSource(r, order[idx])
+				if sfl != 0 || j != idx {
+					steered = true
+				}
+				c.drives[di].runner.Queue.Push(r.arrival, packEv(int32(ri), j, sfl))
+			}
+			if steered {
+				res.SteeredGets++
+			}
+			queued += limit
+			continue
+		}
 		for j := 0; j < limit; j++ {
 			c.drives[c.shardDrive(int(r.object), j)].runner.Queue.Push(r.arrival, packEv(int32(ri), j, fl))
 		}
@@ -322,8 +385,13 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 			}
 			need := k - int(r.shardOK)
 			issued := 0
-			for j := int(r.nextShard); j < n && issued < need; j++ {
-				c.drives[c.shardDrive(int(r.object), j)].runner.Queue.Push(r.end, packEv(ri, j, 0))
+			order := c.defenseOrder(r)
+			for idx := int(r.nextShard); idx < n && issued < need; idx++ {
+				di, j, sfl := c.shardDrive(int(r.object), idx), idx, uint8(0)
+				if order != nil {
+					di, j, sfl = c.resolveSource(r, order[idx])
+				}
+				c.drives[di].runner.Queue.Push(r.end, packEv(ri, j, sfl))
 				r.nextShard++
 				issued++
 			}
@@ -337,6 +405,17 @@ func (c *Cluster) Serve(spec TrafficSpec) (ServeResult, error) {
 		pending, next = next, pending
 	}
 	c.pendingBuf[0], c.pendingBuf[1] = pending[:0], next[:0]
+
+	// Fold the re-placement outcomes (the writes ran inside the epoch
+	// drains, interleaved with client traffic on the target drives).
+	if c.defense != nil {
+		for i := range c.defense.evacs {
+			res.EvacWrites++
+			if !c.defense.evacs[i].ok {
+				res.EvacFailures++
+			}
+		}
+	}
 
 	// Settle outcomes in request order: latencies, corruption checks, and
 	// read-repair planning ("first observer wins" on each lost shard —
@@ -483,6 +562,12 @@ func (c *Cluster) dispatch(di int, it sched.Item) {
 		rp.ok = resp.Err == nil
 		return
 	}
+	if flags&evEvac != 0 {
+		ev := &c.defense.evacs[int32(it.ID>>24)]
+		_, resp := d.server.HandleObjectShared(netstore.Put, int(ev.object)+c.cfg.Objects, c.stripes[ev.object][ev.shard])
+		ev.ok = resp.Err == nil
+		return
+	}
 	ri := int32(it.ID >> 24)
 	shard := int(uint16(it.ID >> 8))
 	r := &c.reqsBuf[ri]
@@ -492,7 +577,24 @@ func (c *Cluster) dispatch(di int, it sched.Item) {
 		op, bits = netstore.Put, opPut
 		payload = c.stripes[r.object][shard]
 	}
-	data, resp := d.server.HandleObjectShared(op, int(r.object), payload)
+	key := int(r.object)
+	if flags&evReplica != 0 {
+		key += c.cfg.Objects
+		bits |= opReplica
+	}
+	data, resp := d.server.HandleObjectShared(op, key, payload)
+	if flags&evReplica != 0 {
+		// A replica read succeeds only if the bytes match the shard: a
+		// mismatch means the re-placement write never landed (or landed
+		// corrupted) and reads as a checksum miss — a failed op, never a
+		// corrupt serve, never retained.
+		if resp.Err == nil && bytes.Equal(data, c.stripes[r.object][shard]) {
+			bits |= opOK | opFull | opTrunc
+		}
+		d.results = append(d.results, opResult{
+			end: int64(d.clock.Now().Sub(c.origin)), req: ri, shard: uint16(shard), bits: bits})
+		return
+	}
 	if resp.Err == nil {
 		bits |= opOK
 		if flags&evPut == 0 {
@@ -536,6 +638,9 @@ func (c *Cluster) combine(reqs []reqState, res *ServeResult) {
 			switch {
 			case rec.bits&opOK != 0:
 				r.shardOK++
+				if rec.bits&opReplica != 0 {
+					res.ReplicaReads++
+				}
 				if rec.bits&opPut == 0 {
 					if rec.bits&opFull == 0 {
 						r.flags &^= reqAllFull
@@ -548,6 +653,9 @@ func (c *Cluster) combine(reqs []reqState, res *ServeResult) {
 				res.ShardWriteErrors++
 			default:
 				res.ShardReadErrors++
+				if rec.bits&opReplica != 0 {
+					res.ReplicaReadErrors++
+				}
 				r.failCount++
 				c.failedBuf = append(c.failedBuf, failRec{req: rec.req, shard: rec.shard})
 			}
@@ -571,7 +679,12 @@ func (c *Cluster) combine(reqs []reqState, res *ServeResult) {
 // pre-cache decode check.
 func (c *Cluster) verifyExact(ri int32, r *reqState, fails []failRec, res *ServeResult) error {
 	shards := make([][]byte, c.coder.TotalShards())
-	for j := 0; j < int(r.nextShard); j++ {
+	order := c.defenseOrder(r)
+	for idx := 0; idx < int(r.nextShard); idx++ {
+		j := idx
+		if order != nil {
+			j = order[idx].shard()
+		}
 		failed := false
 		for _, f := range fails {
 			if int(f.shard) == j {

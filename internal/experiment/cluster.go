@@ -11,6 +11,7 @@ import (
 	"deepnote/internal/parallel"
 	"deepnote/internal/report"
 	"deepnote/internal/sig"
+	"deepnote/internal/sonar"
 	"deepnote/internal/units"
 )
 
@@ -51,7 +52,20 @@ type ClusterSpec struct {
 	// AttackStopFrac ≥ 1 means the speakers never key off — the
 	// sustained-attack case the availability-cliff analysis uses.
 	AttackStartFrac, AttackStopFrac float64
-	Seed                            int64
+	// StaggerFrac, when positive, staggers the cell's key-ons instead of
+	// keying every speaker at AttackStartFrac: speaker i keys on at
+	// window·(AttackStartFrac + i·StaggerFrac) and stays on. This is the
+	// escalation pattern the closed-loop defense needs a reaction window
+	// against; AttackStopFrac is ignored when staggering.
+	StaggerFrac float64
+	// Defense closes the loop in every cell: a hydrophone ring
+	// (Hydrophones elements, Standoff beyond the farthest container)
+	// hears each key-on, multilaterates it, and the fixes steer the
+	// store via cluster.SetDefense.
+	Defense     bool
+	Hydrophones int
+	Standoff    units.Distance
+	Seed        int64
 	// Workers bounds the ladder fan-out (≤ 0 = one per CPU); results are
 	// identical for any worker count.
 	Workers int
@@ -108,6 +122,12 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 	}
 	if s.AttackStopFrac < s.AttackStartFrac {
 		s.AttackStopFrac = s.AttackStartFrac
+	}
+	if s.Hydrophones <= 0 {
+		s.Hydrophones = 6
+	}
+	if s.Standoff <= 0 {
+		s.Standoff = 3 * units.Meter
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -172,18 +192,40 @@ func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
 			if err := c.Preload(); err != nil {
 				return ClusterResult{}, err
 			}
-			on := make([]bool, speakers)
-			for i := range on {
-				on[i] = true
-			}
-			steps := []cluster.ScheduleStep{
-				{At: time.Duration(float64(window) * spec.AttackStartFrac), Active: on},
-			}
-			if spec.AttackStopFrac < 1 {
-				steps = append(steps, cluster.ScheduleStep{
-					At: time.Duration(float64(window) * spec.AttackStopFrac), Active: nil})
+			var steps []cluster.ScheduleStep
+			if spec.StaggerFrac > 0 {
+				steps = staggeredSchedule(speakers, window, spec.AttackStartFrac, spec.StaggerFrac)
+			} else {
+				on := make([]bool, speakers)
+				for i := range on {
+					on[i] = true
+				}
+				steps = []cluster.ScheduleStep{
+					{At: time.Duration(float64(window) * spec.AttackStartFrac), Active: on},
+				}
+				if spec.AttackStopFrac < 1 {
+					steps = append(steps, cluster.ScheduleStep{
+						At: time.Duration(float64(window) * spec.AttackStopFrac), Active: nil})
+				}
 			}
 			c.SetSchedule(steps)
+			if spec.Defense {
+				arr := sonar.FacilityArray(lay, spec.Hydrophones, spec.Standoff)
+				dets := sonar.DetectSchedule(lay, arr, steps, parallel.SeedFor(spec.Seed, 3000+speakers))
+				var fixes []cluster.SourceFix
+				for _, d := range dets {
+					if d.OK {
+						fixes = append(fixes, cluster.SourceFix{
+							At: d.FixAt, Pos: d.Est.Pos, Err: d.Est.ErrRadius,
+							Tone: lay.Speakers[d.Speaker].Tone,
+						})
+					}
+				}
+				if err := c.SetDefense(cluster.DefenseSpec{Fixes: fixes}); err != nil {
+					return ClusterResult{}, err
+				}
+				sonar.PublishMetrics(spec.Metrics, dets)
+			}
 			res, err := c.Serve(cluster.TrafficSpec{
 				Requests:     spec.Requests,
 				Rate:         spec.Rate,
@@ -228,7 +270,7 @@ func ClusterReport(rows []ClusterResult) *report.Table {
 	tb := report.NewTable(
 		"Erasure-coded cluster availability vs attacker speakers (k-of-n, mid-run attack window)",
 		"Speakers", "Silenced", "GET avail", "PUT avail", "Degraded reads", "Repairs",
-		"Goodput MB/s", "P50 ms", "P99 ms")
+		"Steered", "Evacs", "Goodput MB/s", "P50 ms", "P99 ms")
 	for _, r := range rows {
 		tb.AddRow(
 			fmt.Sprintf("%d", r.Speakers),
@@ -237,6 +279,8 @@ func ClusterReport(rows []ClusterResult) *report.Table {
 			fmt.Sprintf("%.1f%%", r.Serve.PutAvailability()*100),
 			fmt.Sprintf("%d", r.Serve.DegradedReads),
 			fmt.Sprintf("%d", r.Serve.RepairWrites),
+			fmt.Sprintf("%d", r.Serve.SteeredGets),
+			fmt.Sprintf("%d", r.Serve.EvacWrites),
 			fmt.Sprintf("%.2f", r.Serve.GoodputMBps),
 			fmt.Sprintf("%.2f", float64(r.Serve.P50)/1e6),
 			fmt.Sprintf("%.2f", float64(r.Serve.P99)/1e6))

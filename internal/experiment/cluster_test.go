@@ -154,3 +154,45 @@ func TestClusterSweepResultsIdenticalWithMetricsOnOff(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterSweepDefendedCell: the ladder with the closed loop on. The
+// over-budget cell (speakers = parity+1) must recover measurable GET
+// availability versus the same staggered escalation undefended, and the
+// defense must leave its counters in the serving record.
+func TestClusterSweepDefendedCell(t *testing.T) {
+	// The request window must comfortably outlast the sonar processing
+	// window plus the controller lag, or no request ever reaches a
+	// defense phase: 300 requests at 500/s is a 600 ms window against
+	// ~155 ms from key-on to policy switch.
+	undefended := testClusterSpec()
+	undefended.Cells = []int{3}
+	undefended.StaggerFrac = 0.2
+	undefended.Requests = 300
+	undefended.Rate = 500
+	offRows, err := ClusterSweep(undefended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended := undefended
+	defended.Defense = true
+	onRows, err := ClusterSweep(defended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := offRows[0].Serve, onRows[0].Serve
+	if off.SteeredGets != 0 || off.EvacWrites != 0 {
+		t.Fatalf("undefended cell reported defense activity: steered=%d evacs=%d",
+			off.SteeredGets, off.EvacWrites)
+	}
+	if on.SteeredGets == 0 || on.EvacWrites == 0 || on.ReplicaReads == 0 {
+		t.Fatalf("defense machinery idle: steered=%d evacs=%d replicaReads=%d",
+			on.SteeredGets, on.EvacWrites, on.ReplicaReads)
+	}
+	if off.CorruptReads != 0 || on.CorruptReads != 0 {
+		t.Fatalf("corrupt reads: off=%d on=%d", off.CorruptReads, on.CorruptReads)
+	}
+	if gain := on.GetAvailability() - off.GetAvailability(); gain < 0.05 {
+		t.Fatalf("defense gain %.4f not measurable (off %.4f, on %.4f)",
+			gain, off.GetAvailability(), on.GetAvailability())
+	}
+}

@@ -1,0 +1,363 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/cluster"
+	"deepnote/internal/metrics"
+	"deepnote/internal/parallel"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/sonar"
+	"deepnote/internal/units"
+)
+
+// SonarSpec is the closed-loop defense campaign: the PR 5 availability
+// cliff (one attacker speaker past the parity budget) re-run with a
+// hydrophone array listening, each key-on localized by multilateration,
+// and the resulting fixes steering the erasure-coded store — measured
+// against the identical run with the defense off. A localization range
+// sweep rides along, probing fix quality from point-blank out past the
+// facility perimeter.
+type SonarSpec struct {
+	// Containers and DrivesPerContainer size the facility (defaults 6, 1).
+	Containers, DrivesPerContainer int
+	// DataShards/ParityShards set the k-of-n code (defaults 4+2).
+	DataShards, ParityShards int
+	// Objects and ObjectSize size the keyspace (defaults 24, 16 KiB).
+	Objects, ObjectSize int
+	// Spacing is the container pitch (default 2 m).
+	Spacing units.Distance
+	// Freq is the attack tone (default 650 Hz).
+	Freq units.Frequency
+	// Speakers is how many point-blank speakers the attacker stages
+	// (default ParityShards+1 — exactly one failure domain past the
+	// cliff, the scenario the defense must rescue).
+	Speakers int
+	// Hydrophones and Standoff shape the surveillance array: a ring of
+	// Hydrophones elements Standoff beyond the farthest container
+	// (defaults 6 elements, 3 m).
+	Hydrophones int
+	Standoff    units.Distance
+	// Requests, Rate, and ReadFraction shape the client workload
+	// (defaults 600 requests at 500 req/s, 90% reads).
+	Requests     int
+	Rate         float64
+	ReadFraction *float64
+	// AttackStartFrac places the first key-on in the request window
+	// (default 0.25); StaggerFrac spaces the remaining key-ons (default
+	// 0.2 of the window each) — the attacker escalates one speaker at a
+	// time, which is what gives the defense its reaction window.
+	AttackStartFrac, StaggerFrac float64
+	// Margin and React tune the defense policy (zero = cluster defaults:
+	// react at half the servo-lock amplitude, 50 ms controller lag).
+	Margin float64
+	React  time.Duration
+	// Ranges are the localization-probe distances from the container
+	// centroid (default 1, 2, 5, 10, 15, 20, 30 m).
+	Ranges []units.Distance
+	Seed   int64
+	// Workers bounds the drive fan-out inside each serving run (≤ 0 =
+	// one per CPU); results are identical for any worker count.
+	Workers int
+	// Metrics receives engine, cluster, and sonar counters when non-nil.
+	Metrics *metrics.Registry
+}
+
+func (s SonarSpec) withDefaults() SonarSpec {
+	if s.Containers <= 0 {
+		s.Containers = 6
+	}
+	if s.DrivesPerContainer <= 0 {
+		s.DrivesPerContainer = 1
+	}
+	if s.DataShards <= 0 {
+		s.DataShards = 4
+	}
+	if s.ParityShards <= 0 {
+		s.ParityShards = 2
+	}
+	if s.Objects <= 0 {
+		s.Objects = 24
+	}
+	if s.ObjectSize <= 0 {
+		s.ObjectSize = 16 << 10
+	}
+	if s.Spacing == 0 {
+		s.Spacing = 2 * units.Meter
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.Speakers <= 0 {
+		s.Speakers = s.ParityShards + 1
+	}
+	if s.Speakers > s.Containers {
+		s.Speakers = s.Containers
+	}
+	if s.Hydrophones <= 0 {
+		s.Hydrophones = 6
+	}
+	if s.Standoff <= 0 {
+		s.Standoff = 3 * units.Meter
+	}
+	if s.Requests <= 0 {
+		s.Requests = 600
+	}
+	if s.Rate <= 0 {
+		s.Rate = 500
+	}
+	if s.ReadFraction == nil {
+		s.ReadFraction = cluster.Ptr(0.9)
+	}
+	if s.AttackStartFrac <= 0 {
+		s.AttackStartFrac = 0.25
+	}
+	if s.StaggerFrac <= 0 {
+		s.StaggerFrac = 0.2
+	}
+	if s.Ranges == nil {
+		s.Ranges = []units.Distance{
+			1 * units.Meter, 2 * units.Meter, 5 * units.Meter, 10 * units.Meter,
+			15 * units.Meter, 20 * units.Meter, 30 * units.Meter,
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// RangeProbe is one cell of the localization range sweep: a source at a
+// known distance from the container centroid, received and multilaterated
+// through the same array the defense uses.
+type RangeProbe struct {
+	// Range is the true source distance from the container centroid.
+	Range units.Distance
+	// Heard is how many hydrophones detected the tone.
+	Heard int
+	// OK reports whether multilateration produced a fix.
+	OK bool
+	// Planar reports the degraded horizontal-only fix.
+	Planar bool
+	// MissM is the 3-D distance between the fix and the true position in
+	// meters (negative when no fix was produced).
+	MissM float64
+	// ErrRadius is the fix's own one-sigma uncertainty claim.
+	ErrRadius units.Distance
+}
+
+// SonarResult is the campaign outcome: the detection timeline, the range
+// sweep, and the defense-off/defense-on serving results under identical
+// traffic and attack seeds.
+type SonarResult struct {
+	// Window is the nominal client request window.
+	Window time.Duration
+	// Detections is the surveillance timeline, one entry per key-on.
+	Detections []sonar.Detection
+	// MissM[i] is detection i's localization miss in meters against the
+	// true speaker position (negative when the fix failed).
+	MissM []float64
+	// Probes is the localization range sweep.
+	Probes []RangeProbe
+	// Off and On are the serving results with the defense disabled and
+	// enabled; everything else about the two runs is identical.
+	Off, On cluster.ServeResult
+	// EvacsPlanned and EvacsSkipped summarize the compiled defense plan.
+	EvacsPlanned, EvacsSkipped int
+}
+
+// SonarRun executes the campaign. Both serving runs and every reception
+// draw their randomness from seeds derived with parallel.SeedFor, so the
+// whole result is byte-identical at any Workers value.
+func SonarRun(spec SonarSpec) (SonarResult, error) {
+	spec = spec.withDefaults()
+	tone := sig.NewTone(spec.Freq)
+	window := time.Duration(float64(spec.Requests) / spec.Rate * float64(time.Second))
+
+	targets := make([]int, spec.Speakers)
+	for i := range targets {
+		targets[i] = i
+	}
+	lay := cluster.LineLayout(spec.Containers, spec.Spacing).WithSpeakersAt(tone, targets...)
+	arr := sonar.FacilityArray(lay, spec.Hydrophones, spec.Standoff)
+
+	steps := staggeredSchedule(spec.Speakers, window, spec.AttackStartFrac, spec.StaggerFrac)
+	dets := sonar.DetectSchedule(lay, arr, steps, parallel.SeedFor(spec.Seed, 1))
+
+	res := SonarResult{Window: window, Detections: dets}
+	var fixes []cluster.SourceFix
+	for _, d := range dets {
+		miss := -1.0
+		if d.OK {
+			miss = d.Est.Pos.Sub(lay.Speakers[d.Speaker].Pos).Norm()
+			fixes = append(fixes, cluster.SourceFix{
+				At:   d.FixAt,
+				Pos:  d.Est.Pos,
+				Err:  d.Est.ErrRadius,
+				Tone: lay.Speakers[d.Speaker].Tone,
+			})
+		}
+		res.MissM = append(res.MissM, miss)
+	}
+
+	serve := func(defended bool) (cluster.ServeResult, *cluster.Cluster, error) {
+		c, err := cluster.New(cluster.Config{
+			Layout:             lay,
+			DrivesPerContainer: spec.DrivesPerContainer,
+			DataShards:         spec.DataShards,
+			ParityShards:       spec.ParityShards,
+			Objects:            spec.Objects,
+			ObjectSize:         spec.ObjectSize,
+			Seed:               cluster.Ptr(parallel.SeedFor(spec.Seed, 2)),
+			Workers:            spec.Workers,
+		})
+		if err != nil {
+			return cluster.ServeResult{}, nil, err
+		}
+		if err := c.Preload(); err != nil {
+			return cluster.ServeResult{}, nil, err
+		}
+		c.SetSchedule(steps)
+		if defended {
+			if err := c.SetDefense(cluster.DefenseSpec{
+				Fixes: fixes, Margin: spec.Margin, React: spec.React,
+			}); err != nil {
+				return cluster.ServeResult{}, nil, err
+			}
+		}
+		sr, err := c.Serve(cluster.TrafficSpec{
+			Requests:     spec.Requests,
+			Rate:         spec.Rate,
+			ReadFraction: spec.ReadFraction,
+			Seed:         cluster.Ptr(parallel.SeedFor(spec.Seed, 3)),
+		})
+		return sr, c, err
+	}
+
+	var err error
+	var onCluster *cluster.Cluster
+	if res.Off, _, err = serve(false); err != nil {
+		return res, err
+	}
+	if res.On, onCluster, err = serve(true); err != nil {
+		return res, err
+	}
+	res.EvacsPlanned, res.EvacsSkipped = onCluster.DefenseEvacsPlanned()
+
+	center := sonar.ContainerCentroid(lay)
+	for i, r := range spec.Ranges {
+		truth := cluster.Vec3{X: center.X + float64(r), Y: center.Y, Z: center.Z}
+		recs := arr.Receive(truth, tone, parallel.SeedFor(spec.Seed, 1000+i))
+		probe := RangeProbe{Range: r, MissM: -1}
+		for _, rec := range recs {
+			if rec.Detected {
+				probe.Heard++
+			}
+		}
+		if est, lerr := arr.Locate(recs); lerr == nil {
+			probe.OK = true
+			probe.Planar = est.Planar
+			probe.MissM = est.Pos.Sub(truth).Norm()
+			probe.ErrRadius = est.ErrRadius
+		}
+		res.Probes = append(res.Probes, probe)
+	}
+
+	// Only the defense-on cluster publishes, so the sonar/defense layers
+	// land in the snapshot exactly once.
+	onCluster.PublishMetrics(spec.Metrics)
+	sonar.PublishMetrics(spec.Metrics, dets)
+	spec.Metrics.Add("experiment.sonar_runs", 1)
+	return res, nil
+}
+
+// staggeredSchedule builds the cumulative key-on ladder: speaker i keys
+// on at window·(startFrac + i·staggerFrac), and nothing ever keys off —
+// the sustained-escalation attack the availability cliff needs.
+func staggeredSchedule(speakers int, window time.Duration, startFrac, staggerFrac float64) []cluster.ScheduleStep {
+	steps := make([]cluster.ScheduleStep, 0, speakers)
+	for i := 0; i < speakers; i++ {
+		on := make([]bool, speakers)
+		for j := 0; j <= i; j++ {
+			on[j] = true
+		}
+		at := time.Duration(float64(window) * (startFrac + float64(i)*staggerFrac))
+		steps = append(steps, cluster.ScheduleStep{At: at, Active: on})
+	}
+	return steps
+}
+
+// SonarDetectionReport renders the surveillance timeline.
+func SonarDetectionReport(res SonarResult) *report.Table {
+	tb := report.NewTable(
+		"Detection timeline: attacker key-ons through the hydrophone array",
+		"Speaker", "Key-on s", "Heard", "Fix", "Latency ms", "Err radius m", "Miss m")
+	for i, d := range res.Detections {
+		fix, miss := "none", "-"
+		if d.OK {
+			fix = "3-D"
+			if d.Est.Planar {
+				fix = "planar"
+			}
+			miss = fmt.Sprintf("%.2f", res.MissM[i])
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", d.Speaker),
+			fmt.Sprintf("%.2f", d.KeyOn.Seconds()),
+			fmt.Sprintf("%d", d.Heard),
+			fix,
+			fmt.Sprintf("%.1f", float64(d.Latency)/1e6),
+			fmt.Sprintf("%.2f", float64(d.Est.ErrRadius)),
+			miss)
+	}
+	return tb
+}
+
+// SonarRangeReport renders the localization error vs range sweep.
+func SonarRangeReport(res SonarResult) *report.Table {
+	tb := report.NewTable(
+		"Localization error vs source range (probes from the container centroid)",
+		"Range m", "Heard", "Fix", "Miss m", "Err radius m")
+	for _, p := range res.Probes {
+		fix, miss := "none", "-"
+		if p.OK {
+			fix = "3-D"
+			if p.Planar {
+				fix = "planar"
+			}
+			miss = fmt.Sprintf("%.2f", p.MissM)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f", float64(p.Range)),
+			fmt.Sprintf("%d", p.Heard),
+			fix,
+			miss,
+			fmt.Sprintf("%.2f", float64(p.ErrRadius)))
+	}
+	return tb
+}
+
+// SonarDefenseReport renders the defense-off/defense-on comparison.
+func SonarDefenseReport(res SonarResult) *report.Table {
+	tb := report.NewTable(
+		"Serving under staged escalation, defense off vs on (identical seeds)",
+		"Defense", "GET avail", "PUT avail", "GET fails", "Degraded", "Steered",
+		"Replica reads", "Evacs", "P99 ms")
+	for _, row := range []struct {
+		name string
+		sr   cluster.ServeResult
+	}{{"off", res.Off}, {"on", res.On}} {
+		tb.AddRow(row.name,
+			fmt.Sprintf("%.1f%%", row.sr.GetAvailability()*100),
+			fmt.Sprintf("%.1f%%", row.sr.PutAvailability()*100),
+			fmt.Sprintf("%d", row.sr.GetFailures),
+			fmt.Sprintf("%d", row.sr.DegradedReads),
+			fmt.Sprintf("%d", row.sr.SteeredGets),
+			fmt.Sprintf("%d", row.sr.ReplicaReads),
+			fmt.Sprintf("%d", row.sr.EvacWrites),
+			fmt.Sprintf("%.2f", float64(row.sr.P99)/1e6))
+	}
+	return tb
+}

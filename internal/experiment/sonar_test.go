@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSonarRunClosesTheLoop: the headline acceptance — under the staged
+// one-past-the-cliff escalation, the localization-driven defense must
+// measurably beat defense-off on GET availability, every key-on must be
+// detected and localized, and nothing may be served corrupt.
+func TestSonarRunClosesTheLoop(t *testing.T) {
+	res, err := SonarRun(SonarSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != 3 {
+		t.Fatalf("got %d detections, want 3 (parity+1 staged key-ons)", len(res.Detections))
+	}
+	for i, d := range res.Detections {
+		if !d.OK {
+			t.Fatalf("key-on %d produced no fix", i)
+		}
+		if d.Latency <= 0 {
+			t.Fatalf("key-on %d: non-positive detection latency %v", i, d.Latency)
+		}
+		if miss := res.MissM[i]; miss < 0 || miss > 1.5 {
+			t.Fatalf("key-on %d localized %.2f m off the true speaker", i, miss)
+		}
+	}
+	if res.Off.GetFailures == 0 {
+		t.Fatal("defense-off run never fell off the availability cliff")
+	}
+	if res.Off.CorruptReads != 0 || res.On.CorruptReads != 0 {
+		t.Fatalf("corrupt reads: off=%d on=%d", res.Off.CorruptReads, res.On.CorruptReads)
+	}
+	off, on := res.Off.GetAvailability(), res.On.GetAvailability()
+	if on-off < 0.05 {
+		t.Fatalf("defense improvement not measurable: off %.4f, on %.4f", off, on)
+	}
+	if res.EvacsPlanned == 0 || res.On.EvacWrites != res.EvacsPlanned {
+		t.Fatalf("evac accounting: planned %d, wrote %d", res.EvacsPlanned, res.On.EvacWrites)
+	}
+}
+
+// TestSonarRangeSweepDegradesWithRange: the probe sweep must detect and
+// localize at short range, and fix quality must not be reported better
+// at the far end than point-blank.
+func TestSonarRangeSweepDegradesWithRange(t *testing.T) {
+	res, err := SonarRun(SonarSpec{Requests: 60, Rate: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("no range probes")
+	}
+	first, last := res.Probes[0], res.Probes[len(res.Probes)-1]
+	if !first.OK || first.MissM > 1 {
+		t.Fatalf("nearest probe (%v): OK=%v miss=%.2f m", first.Range, first.OK, first.MissM)
+	}
+	if last.OK && last.ErrRadius < first.ErrRadius {
+		t.Fatalf("fix claims to improve with range: %.3f m at %v vs %.3f m at %v",
+			float64(last.ErrRadius), last.Range, float64(first.ErrRadius), first.Range)
+	}
+}
+
+// TestSonarRunDeterministicAcrossWorkers: the whole campaign result —
+// detections, probes, both serving runs — must be byte-identical at any
+// drive fan-out.
+func TestSonarRunDeterministicAcrossWorkers(t *testing.T) {
+	base, err := SonarRun(SonarSpec{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		res, err := SonarRun(SonarSpec{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d diverged from workers=1", w)
+		}
+	}
+}

@@ -27,6 +27,13 @@ type Medium struct {
 	DepthM float64
 	// AcidityPH is the pH of the water; it affects the boric-acid
 	// relaxation term of low-frequency absorption. Seawater is ≈ 8.
+	//
+	// Convention: 0 means "unset" and is substituted with the seawater
+	// default of 8 wherever pH enters the model (Absorption). Validate
+	// accepts 0 under the same convention; any explicit non-zero value
+	// must lie in the fitted domain [6, 9]. A physically pH-0 water
+	// column is far outside the empirical model's domain, so the zero
+	// value is safe to reserve as the sentinel.
 	AcidityPH float64
 }
 
@@ -62,7 +69,7 @@ func (m Medium) Validate() error {
 		return fmt.Errorf("water: depth %.1f m outside model domain [0, 11000]", m.DepthM)
 	}
 	if m.AcidityPH != 0 && (m.AcidityPH < 6 || m.AcidityPH > 9) {
-		return fmt.Errorf("water: pH %.2f outside model domain [6, 9]", m.AcidityPH)
+		return fmt.Errorf("water: pH %.2f outside model domain [6, 9] (0 means unset and defaults to 8)", m.AcidityPH)
 	}
 	return nil
 }
@@ -110,7 +117,7 @@ func (m Medium) Absorption(f units.Frequency) float64 {
 	zkm := m.DepthM / 1000
 	ph := m.AcidityPH
 	if ph == 0 {
-		ph = 8
+		ph = 8 // the documented unset convention: default to seawater pH
 	}
 
 	// Relaxation frequencies (kHz).

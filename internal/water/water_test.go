@@ -171,3 +171,56 @@ func TestStringContainsSpeed(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// TestAbsorptionPHUnsetDefaultsToSeawater pins the documented zero-value
+// convention: AcidityPH == 0 means "unset" and must absorb exactly like
+// an explicit seawater pH of 8 — not like a (physically absurd) pH-0
+// column, which would collapse the boric-acid term by e^(-8/0.56).
+func TestAbsorptionPHUnsetDefaultsToSeawater(t *testing.T) {
+	unset := Seawater(36)
+	unset.AcidityPH = 0
+	explicit := Seawater(36)
+	explicit.AcidityPH = 8
+	for _, f := range []units.Frequency{500 * units.Hz, 5 * units.KHz, 50 * units.KHz} {
+		a0, a8 := unset.Absorption(f), explicit.Absorption(f)
+		if a0 != a8 {
+			t.Fatalf("at %v: pH-unset absorption %.9f != pH-8 absorption %.9f", f, a0, a8)
+		}
+		// And a genuinely different pH must actually change the answer,
+		// so the test cannot pass vacuously.
+		acidic := explicit
+		acidic.AcidityPH = 7
+		if a7 := acidic.Absorption(f); a7 >= a8 {
+			t.Fatalf("at %v: pH 7 absorption %.9f not below pH 8 absorption %.9f", f, a7, a8)
+		}
+	}
+}
+
+// TestAbsorptionFreshwaterPHIndependent: with S=0 the boric-acid term is
+// gone entirely, so pH (set or unset) cannot matter.
+func TestAbsorptionFreshwaterPHIndependent(t *testing.T) {
+	base := FreshwaterTank()
+	for _, ph := range []float64{0, 6, 7, 9} {
+		m := base
+		m.AcidityPH = ph
+		if a, b := m.Absorption(5*units.KHz), base.Absorption(5*units.KHz); a != b {
+			t.Fatalf("freshwater absorption depends on pH: %.9f (pH %.0f) vs %.9f", a, ph, b)
+		}
+	}
+}
+
+// TestValidatePHZeroSentinel: Validate accepts the pH-unset zero value
+// but still rejects explicit out-of-domain values on both sides.
+func TestValidatePHZeroSentinel(t *testing.T) {
+	m := Seawater(36)
+	m.AcidityPH = 0
+	if err := m.Validate(); err != nil {
+		t.Fatalf("pH 0 (unset sentinel) rejected: %v", err)
+	}
+	for _, ph := range []float64{5.9, 9.1, -1} {
+		m.AcidityPH = ph
+		if err := m.Validate(); err == nil {
+			t.Fatalf("pH %.1f accepted, want out-of-domain error", ph)
+		}
+	}
+}
