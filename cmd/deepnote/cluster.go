@@ -59,7 +59,7 @@ func cmdCluster(args []string) error {
 		StaggerFrac:        *attackStagger,
 		Defense:            *defenseOn,
 		Hydrophones:        *hydrophones,
-		Standoff:           units.Distance(*standoff) * units.Meter,
+		Standoff:           cluster.Ptr(units.Distance(*standoff) * units.Meter),
 		Seed:               *seed,
 		Workers:            *workers,
 		CellWorkers:        *cellWorkers,

@@ -8,7 +8,8 @@
 //	deepnote table2 [-runtime SECONDS] [-csv]
 //	deepnote table3
 //	deepnote sweep  [-scenario 1|2|3] [-pattern write|read] [-workers N]
-//	deepnote fleet  [-containers N] [-drives N] [-spacing M] [-workers N]
+//	deepnote facility [-containers N] [-drives N] [-spacing M] [-workers N]
+//	deepnote fleet  [-sites N] [-containers N] [-data K] [-parity M] [-blast N] [-workers N]
 //	deepnote cluster [-containers N] [-data K] [-parity M] [-speakers N] [-defense] [-workers N]
 //	deepnote sonar  [-hydrophones N] [-standoff M] [-speakers N] [-workers N]
 //	deepnote range  [-scenario 1|2|3] [-freq HZ]
@@ -18,8 +19,8 @@
 //	deepnote selfcheck [-scenario 1|2|3] [-workers N] [-tol FRAC] [-report PATH]
 //	deepnote all
 //
-// Grid-shaped commands (figure2, sweep, fleet, cluster, ablation,
-// stealthgrid) fan
+// Grid-shaped commands (figure2, sweep, facility, fleet, cluster,
+// ablation, stealthgrid) fan
 // their independent simulation cells over a worker pool; -workers N bounds
 // the parallelism (0, the default, means one worker per CPU). Results are
 // bit-identical for any worker count.
@@ -98,6 +99,8 @@ func main() {
 		err = cmdResilience(args)
 	case "ultrasonic":
 		err = cmdUltrasonic(args)
+	case "facility":
+		err = cmdFacility(args)
 	case "fleet":
 		err = cmdFleet(args)
 	case "cluster":
@@ -150,7 +153,8 @@ commands:
   redundancy  RAID placement under attack (co-located vs split)
   resilience  prolonged attack vs hardening ladder (bare / watchdog / hardened)
   ultrasonic  shock-sensor vector reachability through the enclosure
-  fleet     facility availability vs attacker speaker count
+  facility  facility availability vs attacker speaker count
+  fleet     geo-distributed fleet under facility attack: attack-aware vs naive placement
   cluster   erasure-coded datacenter serving traffic under a speaker ladder
   sonar     closed-loop defense: hydrophone localization steering the store
   adaptive  closed-loop attacker: find the best tone within a probe budget
@@ -638,8 +642,8 @@ func cmdUltrasonic(args []string) error {
 	return nil
 }
 
-func cmdFleet(args []string) error {
-	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+func cmdFacility(args []string) error {
+	fs := flag.NewFlagSet("facility", flag.ExitOnError)
 	containers := fs.Int("containers", 4, "container count")
 	drives := fs.Int("drives", 5, "drives per container")
 	spacing := fs.Float64("spacing", 2, "container spacing in meters")

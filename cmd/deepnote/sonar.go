@@ -52,14 +52,14 @@ func cmdSonar(args []string) error {
 		Freq:               units.Frequency(*freq),
 		Speakers:           *speakers,
 		Hydrophones:        *hydrophones,
-		Standoff:           units.Distance(*standoff) * units.Meter,
+		Standoff:           cluster.Ptr(units.Distance(*standoff) * units.Meter),
 		Requests:           *requests,
 		Rate:               *rate,
 		ReadFraction:       cluster.Ptr(*readFrac),
 		AttackStartFrac:    *attackStart,
-		StaggerFrac:        *attackStagger,
-		Margin:             *margin,
-		React:              time.Duration(*react * float64(time.Second)),
+		StaggerFrac:        cluster.Ptr(*attackStagger),
+		Margin:             cluster.Ptr(*margin),
+		React:              cluster.Ptr(time.Duration(*react * float64(time.Second))),
 		Seed:               *seed,
 		Workers:            *workers,
 		Metrics:            o.registry(),

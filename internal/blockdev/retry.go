@@ -117,9 +117,17 @@ func (r *Retrier) do(op func() error) error {
 			r.stats.Exhausted++
 			return fmt.Errorf("%w after %d attempts: %v", ErrBudgetExhausted, attempt+1, lastErr)
 		}
-		if r.clock.Now().Sub(start)+backoff > r.policy.Budget {
+		elapsed := r.clock.Now().Sub(start)
+		if elapsed >= r.policy.Budget {
 			r.stats.Exhausted++
-			return fmt.Errorf("%w after %v: %v", ErrBudgetExhausted, r.clock.Now().Sub(start), lastErr)
+			return fmt.Errorf("%w after %v: %v", ErrBudgetExhausted, elapsed, lastErr)
+		}
+		if remaining := r.policy.Budget - elapsed; backoff > remaining {
+			// The doubled backoff would overshoot the deadline. Clamp it
+			// so the request spends its whole budget and gets one final
+			// attempt at the deadline edge instead of abandoning the
+			// remainder unspent.
+			backoff = remaining
 		}
 		r.clock.Sleep(backoff)
 		r.stats.BackoffTime += backoff

@@ -83,12 +83,47 @@ func TestRetrierHonorsDeadlineBudget(t *testing.T) {
 	if !errors.Is(err, blockdev.ErrBudgetExhausted) {
 		t.Fatalf("err = %v", err)
 	}
-	if spent := clock.Now().Sub(start); spent > time.Second {
-		t.Fatalf("budget overrun: spent %v", spent)
+	// 400ms backoffs against a 1s budget: attempts at 0, ~401, ~802 ms,
+	// then the final backoff is clamped to the remaining budget so the
+	// fourth attempt lands exactly at the 1s deadline edge.
+	if dev.attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", dev.attempts)
 	}
-	// 400ms backoffs against a 1s budget: attempts at 0, 400, 800 ms.
-	if dev.attempts != 3 {
-		t.Fatalf("attempts = %d, want 3", dev.attempts)
+	// Sleeping never exceeds the budget; only attempt latency may spill.
+	if s := r.Stats(); s.BackoffTime > time.Second {
+		t.Fatalf("backoff overran budget: %v", s.BackoffTime)
+	}
+	if spent := clock.Now().Sub(start); spent > time.Second+4*time.Millisecond {
+		t.Fatalf("spent %v, want <= budget + attempt latency", spent)
+	}
+}
+
+func TestRetrierClampsFinalBackoffToDeadline(t *testing.T) {
+	// Boundary regression: a retry whose doubled backoff would exceed the
+	// remaining budget must be clamped to a final attempt at the deadline
+	// edge, not silently skipped. The device recovers exactly on that
+	// clamped fourth attempt — the old code abandoned the request first.
+	clock := simclock.NewVirtual()
+	dev := &flaky{failures: 3, clock: clock}
+	r := blockdev.NewRetrier(dev, clock, blockdev.RetryPolicy{
+		MaxRetries:  50,
+		BaseBackoff: 400 * time.Millisecond,
+		MaxBackoff:  400 * time.Millisecond,
+		Budget:      time.Second,
+	})
+	if _, err := r.ReadAt(make([]byte, 512), 0); err != nil {
+		t.Fatalf("clamped final attempt was skipped: %v", err)
+	}
+	if dev.attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", dev.attempts)
+	}
+	s := r.Stats()
+	if s.Recovered != 1 || s.Exhausted != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Backoffs: 400 + 400 + (1000 - 803) clamped = 997 ms.
+	if s.BackoffTime != 997*time.Millisecond {
+		t.Fatalf("backoff = %v, want 997ms (final sleep clamped)", s.BackoffTime)
 	}
 }
 

@@ -37,21 +37,24 @@ type DefenseSpec struct {
 	Fixes []SourceFix
 	// Margin scales the at-risk threshold: a drive is inside the blast
 	// radius when its predicted off-track amplitude reaches
-	// Margin × ServoLockFrac (default 0.5 — react well before the drive
-	// actually loses servo lock).
-	Margin float64
+	// Margin × ServoLockFrac. Nil means the default 0.5 — react well
+	// before the drive actually loses servo lock; Ptr(0.0) is maximum
+	// paranoia (every container with any predicted excitation is at
+	// risk), which is a meaningful setting and therefore honored.
+	Margin *float64
 	// React is the controller lag between a fix arriving and the policy
-	// switching (default 50 ms): re-planning, rerouting tables, kicking
-	// off the re-placement writes.
-	React time.Duration
+	// switching: re-planning, rerouting tables, kicking off the
+	// re-placement writes. Nil means the default 50 ms; Ptr(0) is an
+	// idealized instant controller and is honored.
+	React *time.Duration
 }
 
 func (s DefenseSpec) withDefaults() DefenseSpec {
-	if s.Margin <= 0 {
-		s.Margin = 0.5
+	if s.Margin == nil {
+		s.Margin = Ptr(0.5)
 	}
-	if s.React <= 0 {
-		s.React = 50 * time.Millisecond
+	if s.React == nil {
+		s.React = Ptr(50 * time.Millisecond)
 	}
 	return s
 }
@@ -171,7 +174,7 @@ func (c *Cluster) SetDefense(spec DefenseSpec) error {
 		_, amp := c.cfg.Layout.PredictedAmp(fixes[f].Pos, fixes[f].Err, fixes[f].Tone, d.container, d.asm, c.model)
 		return amp
 	})
-	threshold := spec.Margin * c.model.ServoLockFrac
+	threshold := *spec.Margin * c.model.ServoLockFrac
 
 	C := len(c.cfg.Layout.Containers)
 	dpc := c.cfg.DrivesPerContainer
@@ -184,8 +187,8 @@ func (c *Cluster) SetDefense(spec DefenseSpec) error {
 	// the at-risk container set accumulating.
 	hot := make([]bool, C)
 	for f := 0; f < len(fixes); {
-		at := int64(fixes[f].At + spec.React)
-		for f < len(fixes) && int64(fixes[f].At+spec.React) == at {
+		at := int64(fixes[f].At + *spec.React)
+		for f < len(fixes) && int64(fixes[f].At+*spec.React) == at {
 			for di := range c.drives {
 				if tf.Gain(f, di) >= threshold {
 					hot[c.drives[di].container] = true

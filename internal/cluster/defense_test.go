@@ -154,6 +154,151 @@ func TestDefenseEmptyFixesDisables(t *testing.T) {
 	}
 }
 
+// TestDefenseReEvacuatesWhenReplicaTargetGoesHotTwice drives the planner
+// through two successive losses of the same shard's replica: the blast
+// radius first swallows the shard's home, then the chosen evac target,
+// then the re-chosen target, and each escalation must produce a fresh
+// re-placement onto a container that is safe in that phase — with the
+// final source order pointing at the last replica, not a stale one.
+func TestDefenseReEvacuatesWhenReplicaTargetGoesHotTwice(t *testing.T) {
+	tone := sig.NewTone(650 * units.Hz)
+	// Eight containers, 4+2 stripes: objects of class 0 stripe across
+	// containers 0-5, leaving 6 and 7 as spares. The attacker walks the
+	// spares: speakers pressed against containers 0, 6, 7 key on in
+	// stages, so shard 0's home goes hot, then its replica on the first
+	// spare, then the replica's replica on the second.
+	lay := LineLayout(8, 2*units.Meter).WithSpeakersAt(tone, 0, 6, 7)
+	c, err := New(Config{
+		Layout:     lay,
+		DataShards: 4, ParityShards: 2,
+		Objects: 16, ObjectSize: 16 << 10,
+		Seed: Ptr(int64(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixes []SourceFix
+	for i, at := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond} {
+		fixes = append(fixes, SourceFix{
+			At: at, Pos: lay.Speakers[i].Pos, Err: 20 * units.Centimeter, Tone: tone,
+		})
+	}
+	if err := c.SetDefense(DefenseSpec{Fixes: fixes, React: Ptr(time.Duration(0))}); err != nil {
+		t.Fatal(err)
+	}
+	ds := c.defense
+	if ds == nil || len(ds.phases) != 3 {
+		t.Fatalf("want 3 phases, got %+v", ds)
+	}
+	// Object 0 is class 0 (home of shard 0 = container 0). Its shard-0
+	// re-placements, in phase order.
+	var targets []int
+	for _, ev := range ds.evacs {
+		if ev.object == 0 && ev.shard == 0 {
+			ct := c.drives[ev.drive].container
+			p := ds.phaseFor(ev.at)
+			if ds.phases[p].atRisk[ct] {
+				t.Fatalf("re-placement %d of shard 0 targets container %d inside the phase-%d radius", len(targets), ct, p)
+			}
+			targets = append(targets, ct)
+		}
+	}
+	if len(targets) != 3 {
+		t.Fatalf("shard 0 re-placed %d times (targets %v), want 3 (initial + twice re-evacuated)", len(targets), targets)
+	}
+	if targets[0] != 6 || targets[1] != 7 {
+		t.Fatalf("replica walk %v, want spares 6 then 7 first", targets)
+	}
+	if targets[2] == 0 || targets[2] == 6 || targets[2] == 7 {
+		t.Fatalf("final replica landed back inside the radius: %v", targets)
+	}
+	// The final phase's GET order must reference the final replica for
+	// shard 0, before any at-risk leftovers.
+	order := ds.phases[2].orders[c.class(0)]
+	found := false
+	for _, ref := range order {
+		if ref.shard() != 0 {
+			continue
+		}
+		ct, alt := ref.altContainer()
+		if !alt || ct != targets[2] {
+			t.Fatalf("final order references shard 0 via container %d (alt=%v), want replica on %d", ct, alt, targets[2])
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatalf("shard 0 missing from final source order %v", order)
+	}
+}
+
+// TestDefenseSpecZeroFieldsHonored pins the pointer-field zero-vs-unset
+// contract: an explicit zero React (instant controller) must activate
+// the phase exactly at the fix time instead of being silently replaced
+// by the 50 ms default, and an explicit zero Margin (maximum paranoia)
+// must mark every excited container at risk.
+func TestDefenseSpecZeroFieldsHonored(t *testing.T) {
+	tone := sig.NewTone(650 * units.Hz)
+	lay := LineLayout(6, 2*units.Meter).WithSpeakersAt(tone, 0)
+	build := func() *Cluster {
+		c, err := New(Config{
+			Layout:     lay,
+			DataShards: 4, ParityShards: 2,
+			Objects: 24, ObjectSize: 16 << 10,
+			Seed: Ptr(int64(7)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	fix := SourceFix{
+		At:  300 * time.Millisecond,
+		Pos: lay.Speakers[0].Pos,
+		Err: 20 * units.Centimeter, Tone: tone,
+	}
+
+	c := build()
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{fix}}); err != nil {
+		t.Fatal(err)
+	}
+	wantDefault := int64(fix.At + 50*time.Millisecond)
+	if got := c.defense.phases[0].at; got != wantDefault {
+		t.Fatalf("nil React: phase at %d ns, want fix + 50ms default = %d", got, wantDefault)
+	}
+	defaultHot := 0
+	for _, hot := range c.defense.phases[0].atRisk {
+		if hot {
+			defaultHot++
+		}
+	}
+
+	c = build()
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{fix}, React: Ptr(time.Duration(0))}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.defense.phases[0].at; got != int64(fix.At) {
+		t.Fatalf("explicit zero React replaced by default: phase at %d ns, want %d", got, int64(fix.At))
+	}
+
+	c = build()
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{fix}, Margin: Ptr(0.0)}); err != nil {
+		t.Fatal(err)
+	}
+	zeroHot := 0
+	for _, hot := range c.defense.phases[0].atRisk {
+		if hot {
+			zeroHot++
+		}
+	}
+	if zeroHot != len(lay.Containers) {
+		t.Fatalf("explicit zero Margin: %d/%d containers at risk, want all", zeroHot, len(lay.Containers))
+	}
+	if defaultHot >= zeroHot {
+		t.Fatalf("default Margin marks %d containers hot, zero Margin %d — defaulting is not distinguishing them", defaultHot, zeroHot)
+	}
+}
+
 // TestDefenseEvacTargetsAvoidBlastRadius checks the compiled plan never
 // re-places a shard onto a container inside the predicted radius at the
 // phase the write happens.

@@ -61,10 +61,12 @@ type ClusterSpec struct {
 	// Defense closes the loop in every cell: a hydrophone ring
 	// (Hydrophones elements, Standoff beyond the farthest container)
 	// hears each key-on, multilaterates it, and the fixes steer the
-	// store via cluster.SetDefense.
+	// store via cluster.SetDefense. Standoff nil means the default 3 m;
+	// cluster.Ptr(units.Distance(0)) puts the ring at the perimeter and
+	// is honored.
 	Defense     bool
 	Hydrophones int
-	Standoff    units.Distance
+	Standoff    *units.Distance
 	Seed        int64
 	// Workers bounds the ladder fan-out (≤ 0 = one per CPU); results are
 	// identical for any worker count.
@@ -126,8 +128,8 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 	if s.Hydrophones <= 0 {
 		s.Hydrophones = 6
 	}
-	if s.Standoff <= 0 {
-		s.Standoff = 3 * units.Meter
+	if s.Standoff == nil {
+		s.Standoff = cluster.Ptr(3 * units.Meter)
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -210,7 +212,7 @@ func ClusterSweep(spec ClusterSpec) ([]ClusterResult, error) {
 			}
 			c.SetSchedule(steps)
 			if spec.Defense {
-				arr := sonar.FacilityArray(lay, spec.Hydrophones, spec.Standoff)
+				arr := sonar.FacilityArray(lay, spec.Hydrophones, *spec.Standoff)
 				dets := sonar.DetectSchedule(lay, arr, steps, parallel.SeedFor(spec.Seed, 3000+speakers))
 				var fixes []cluster.SourceFix
 				for _, d := range dets {

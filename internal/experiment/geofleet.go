@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"deepnote/internal/cluster"
+	"deepnote/internal/fleet"
+	"deepnote/internal/metrics"
+	"deepnote/internal/parallel"
+	"deepnote/internal/report"
+	"deepnote/internal/sig"
+	"deepnote/internal/units"
+)
+
+// GeoFleetSpec is the geo-distributed campaign: a multi-facility fleet
+// serves one global workload twice — once with attack-aware placement,
+// once with the naive locality-greedy layout — while an acoustic blast
+// silences a run of containers at one site and the WAN degrades under
+// injected faults. The pair of runs shares every seed, so the only
+// variable is where the shards live.
+type GeoFleetSpec struct {
+	// Sites and ContainersPerSite size the fleet (defaults 4, 8).
+	Sites, ContainersPerSite int
+	// DataShards/ParityShards set the k-of-n code (defaults 4+4 — a site
+	// allotment of ceil(n/S) shards must fit inside the parity budget for
+	// attack-aware placement to survive a facility loss).
+	DataShards, ParityShards int
+	// Objects and ObjectSize size the keyspace (defaults 48, 8 KiB).
+	Objects, ObjectSize int
+	// Spacing is the container pitch (default 2 m); Freq the attack tone
+	// (default 650 Hz).
+	Spacing units.Distance
+	Freq    units.Frequency
+	// Blast is the attack's footprint: that many contiguous containers of
+	// site 0, starting at container 0, each get a point-blank speaker
+	// (default 5 — one more than the parity budget, so every naive stripe
+	// homed on the attacked site is erased).
+	Blast int
+	// AttackStart/AttackStop key the speakers (and the WAN faults) on
+	// over [AttackStart, AttackStop) of the serving timeline (defaults
+	// 500 ms, 2 s).
+	AttackStart, AttackStop time.Duration
+	// Deadline is the per-request budget (default 2 s — blasted drives
+	// fail slowly, so failover needs room to outlast the grinding waves).
+	Deadline time.Duration
+	// Faults are the injected WAN faults; nil means the standard pair —
+	// the attacked site's link to its nearest peer flaps and an unrelated
+	// pair browns out ×4, both over the attack window.
+	Faults []fleet.Fault
+	// Requests, Rate, and ReadFraction shape the workload (defaults 800
+	// requests at 300 req/s, 90% reads — busy but below the drives'
+	// saturation knee, so the deadline budget is spent on failover, not
+	// on queueing backlog).
+	Requests     int
+	Rate         float64
+	ReadFraction *float64
+	// Seed seeds the infrastructure — per-node engines and WAN jitter
+	// (default 1). The request schedule itself is the traffic tier's
+	// reference workload, held fixed so the placement comparison varies
+	// only the machinery under it.
+	Seed int64
+	// Workers bounds the placement fan-out (≤ 0 = one per CPU); results
+	// are identical for any worker count.
+	Workers int
+	// CellWorkers bounds the node fan-out inside each fleet (default 1);
+	// results never depend on it.
+	CellWorkers int
+	// Metrics receives engine and per-layer counters when non-nil.
+	Metrics *metrics.Registry
+}
+
+func (s GeoFleetSpec) withDefaults() GeoFleetSpec {
+	if s.Sites <= 0 {
+		s.Sites = 4
+	}
+	if s.ContainersPerSite <= 0 {
+		s.ContainersPerSite = 8
+	}
+	if s.DataShards <= 0 {
+		s.DataShards = 4
+	}
+	if s.ParityShards <= 0 {
+		s.ParityShards = 4
+	}
+	if s.Objects <= 0 {
+		s.Objects = 48
+	}
+	if s.ObjectSize <= 0 {
+		s.ObjectSize = 8 << 10
+	}
+	if s.Spacing == 0 {
+		s.Spacing = 2 * units.Meter
+	}
+	if s.Freq == 0 {
+		s.Freq = 650 * units.Hz
+	}
+	if s.Blast <= 0 {
+		s.Blast = 5
+	}
+	if s.Blast > s.ContainersPerSite {
+		s.Blast = s.ContainersPerSite
+	}
+	if s.AttackStart <= 0 {
+		s.AttackStart = 500 * time.Millisecond
+	}
+	if s.AttackStop <= s.AttackStart {
+		s.AttackStop = 2 * time.Second
+	}
+	if s.Deadline <= 0 {
+		s.Deadline = 2 * time.Second
+	}
+	if s.Requests <= 0 {
+		s.Requests = 800
+	}
+	if s.Rate <= 0 {
+		s.Rate = 300
+	}
+	if s.ReadFraction == nil {
+		s.ReadFraction = cluster.Ptr(0.9)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.CellWorkers <= 0 {
+		s.CellWorkers = 1
+	}
+	return s
+}
+
+// geoFleetSiteNames label the facilities in reports.
+var geoFleetSiteNames = []string{"pacific", "atlantic", "baltic", "coral", "nordic", "tasman"}
+
+// geoFleetFaults is the standard concurrent-WAN-trouble pair.
+func (s GeoFleetSpec) geoFleetFaults() []fleet.Fault {
+	if s.Faults != nil {
+		return s.Faults
+	}
+	window := s.AttackStop - s.AttackStart
+	faults := []fleet.Fault{
+		{Kind: fleet.LinkFlap, A: 0, B: 1 % s.Sites, Start: s.AttackStart, Duration: window},
+	}
+	if s.Sites >= 4 {
+		faults = append(faults, fleet.Fault{
+			Kind: fleet.Brownout, A: 2, B: 3, Start: s.AttackStart, Duration: window, Factor: 4})
+	}
+	return faults
+}
+
+// GeoFleetResult holds both placements' full ledgers plus the
+// attack-window cut where the headline gap lives.
+type GeoFleetResult struct {
+	Spec         GeoFleetSpec
+	Aware, Naive fleet.Result
+	// AwareAttack and NaiveAttack re-cut each ledger over exactly
+	// [AttackStart, AttackStop).
+	AwareAttack, NaiveAttack fleet.WindowStats
+}
+
+// GeoFleetRun serves the identical seeded workload under both placements
+// while the facility attack and WAN faults play out. The two cells fan
+// out over the parallel engine; every seed is shared across cells, so
+// the placement policy is the only difference — and the whole result is
+// byte-identical at any worker count.
+func GeoFleetRun(spec GeoFleetSpec) (GeoFleetResult, error) {
+	spec = spec.withDefaults()
+	placements := []fleet.Placement{fleet.PlacementAttackAware, fleet.PlacementNaive}
+	runs, err := parallel.RunObserved(context.Background(), placements, spec.Workers, spec.Metrics,
+		func(_ context.Context, _ int, p fleet.Placement) (fleet.Result, error) {
+			tone := sig.NewTone(spec.Freq)
+			blast := make([]int, spec.Blast)
+			for i := range blast {
+				blast[i] = i
+			}
+			sites := make([]fleet.SiteSpec, spec.Sites)
+			for i := range sites {
+				name := fmt.Sprintf("site-%d", i)
+				if i < len(geoFleetSiteNames) {
+					name = geoFleetSiteNames[i]
+				}
+				lay := cluster.LineLayout(spec.ContainersPerSite, spec.Spacing)
+				if i == 0 {
+					lay = lay.WithSpeakersAt(tone, blast...)
+				}
+				sites[i] = fleet.SiteSpec{Name: name, Layout: lay}
+			}
+			f, err := fleet.New(fleet.Config{
+				Sites:        sites,
+				DataShards:   spec.DataShards,
+				ParityShards: spec.ParityShards,
+				Objects:      spec.Objects,
+				ObjectSize:   spec.ObjectSize,
+				Placement:    p,
+				WAN:          fleet.WANConfig{Faults: spec.geoFleetFaults()},
+				Resilience:   fleet.Resilience{Deadline: spec.Deadline},
+				Seed:         cluster.Ptr(spec.Seed),
+				Workers:      spec.CellWorkers,
+			})
+			if err != nil {
+				return fleet.Result{}, err
+			}
+			if err := f.Preload(); err != nil {
+				return fleet.Result{}, err
+			}
+			on := make([]bool, spec.Blast)
+			for i := range on {
+				on[i] = true
+			}
+			if err := f.SetAttack(0, []cluster.ScheduleStep{
+				{At: spec.AttackStart, Active: on},
+				{At: spec.AttackStop, Active: nil},
+			}); err != nil {
+				return fleet.Result{}, err
+			}
+			res, err := f.Serve(fleet.TrafficSpec{
+				Requests:     spec.Requests,
+				Rate:         spec.Rate,
+				ReadFraction: spec.ReadFraction,
+			})
+			if err != nil {
+				return fleet.Result{}, err
+			}
+			f.PublishMetrics(spec.Metrics)
+			spec.Metrics.Add("experiment.geofleet_cells", 1)
+			return res, nil
+		})
+	if err != nil {
+		return GeoFleetResult{}, err
+	}
+	out := GeoFleetResult{Spec: spec, Aware: runs[0], Naive: runs[1]}
+	out.AwareAttack = out.Aware.Window(spec.AttackStart, spec.AttackStop)
+	out.NaiveAttack = out.Naive.Window(spec.AttackStart, spec.AttackStop)
+	return out, nil
+}
+
+// GeoFleetReport renders the aware-vs-naive comparison: whole-run and
+// attack-window availability and time-to-verdict tails, plus the
+// robustness machinery each placement leaned on.
+func GeoFleetReport(res GeoFleetResult) *report.Table {
+	tb := report.NewTable(
+		"Geo-distributed fleet under facility attack + WAN faults (attack-aware vs naive placement)",
+		"Placement", "GET avail", "PUT avail", "P99 ms",
+		"Attack GET avail", "Attack P99 ms",
+		"Waves", "Hedged", "Shed", "WAN drops", "Opens", "Corrupt")
+	row := func(name string, r fleet.Result, w fleet.WindowStats) {
+		tb.AddRow(
+			name,
+			fmt.Sprintf("%.2f%%", r.GetAvailability()*100),
+			fmt.Sprintf("%.2f%%", r.PutAvailability()*100),
+			fmt.Sprintf("%.1f", float64(r.P99)/1e6),
+			fmt.Sprintf("%.2f%%", w.GetAvailability()*100),
+			fmt.Sprintf("%.1f", float64(w.P99)/1e6),
+			fmt.Sprintf("%d", r.FailoverWaves),
+			fmt.Sprintf("%d", r.HedgedRequests),
+			fmt.Sprintf("%d", r.ShedRequests),
+			fmt.Sprintf("%d", r.WANDrops),
+			fmt.Sprintf("%d", r.BreakerOpens),
+			fmt.Sprintf("%d", r.CorruptReads))
+	}
+	row(fleet.PlacementAttackAware.String(), res.Aware, res.AwareAttack)
+	row(fleet.PlacementNaive.String(), res.Naive, res.NaiveAttack)
+	return tb
+}

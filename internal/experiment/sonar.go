@@ -36,24 +36,30 @@ type SonarSpec struct {
 	// cliff, the scenario the defense must rescue).
 	Speakers int
 	// Hydrophones and Standoff shape the surveillance array: a ring of
-	// Hydrophones elements Standoff beyond the farthest container
-	// (defaults 6 elements, 3 m).
+	// Hydrophones elements Standoff beyond the farthest container.
+	// Standoff nil means the default 3 m; cluster.Ptr(units.Distance(0))
+	// places the ring exactly at the facility perimeter and is honored.
 	Hydrophones int
-	Standoff    units.Distance
+	Standoff    *units.Distance
 	// Requests, Rate, and ReadFraction shape the client workload
 	// (defaults 600 requests at 500 req/s, 90% reads).
 	Requests     int
 	Rate         float64
 	ReadFraction *float64
 	// AttackStartFrac places the first key-on in the request window
-	// (default 0.25); StaggerFrac spaces the remaining key-ons (default
-	// 0.2 of the window each) — the attacker escalates one speaker at a
-	// time, which is what gives the defense its reaction window.
-	AttackStartFrac, StaggerFrac float64
-	// Margin and React tune the defense policy (zero = cluster defaults:
-	// react at half the servo-lock amplitude, 50 ms controller lag).
-	Margin float64
-	React  time.Duration
+	// (default 0.25); StaggerFrac spaces the remaining key-ons — the
+	// attacker escalates one speaker at a time, which is what gives the
+	// defense its reaction window. StaggerFrac nil means the default 0.2
+	// of the window; cluster.Ptr(0.0) keys every speaker on
+	// simultaneously (no reaction window) and is honored.
+	AttackStartFrac float64
+	StaggerFrac     *float64
+	// Margin and React tune the defense policy, passed straight through
+	// to cluster.DefenseSpec (nil = cluster defaults: react at half the
+	// servo-lock amplitude, 50 ms controller lag; explicit zeros are
+	// honored).
+	Margin *float64
+	React  *time.Duration
 	// Ranges are the localization-probe distances from the container
 	// centroid (default 1, 2, 5, 10, 15, 20, 30 m).
 	Ranges []units.Distance
@@ -99,8 +105,8 @@ func (s SonarSpec) withDefaults() SonarSpec {
 	if s.Hydrophones <= 0 {
 		s.Hydrophones = 6
 	}
-	if s.Standoff <= 0 {
-		s.Standoff = 3 * units.Meter
+	if s.Standoff == nil {
+		s.Standoff = cluster.Ptr(3 * units.Meter)
 	}
 	if s.Requests <= 0 {
 		s.Requests = 600
@@ -114,8 +120,8 @@ func (s SonarSpec) withDefaults() SonarSpec {
 	if s.AttackStartFrac <= 0 {
 		s.AttackStartFrac = 0.25
 	}
-	if s.StaggerFrac <= 0 {
-		s.StaggerFrac = 0.2
+	if s.StaggerFrac == nil {
+		s.StaggerFrac = cluster.Ptr(0.2)
 	}
 	if s.Ranges == nil {
 		s.Ranges = []units.Distance{
@@ -181,9 +187,9 @@ func SonarRun(spec SonarSpec) (SonarResult, error) {
 		targets[i] = i
 	}
 	lay := cluster.LineLayout(spec.Containers, spec.Spacing).WithSpeakersAt(tone, targets...)
-	arr := sonar.FacilityArray(lay, spec.Hydrophones, spec.Standoff)
+	arr := sonar.FacilityArray(lay, spec.Hydrophones, *spec.Standoff)
 
-	steps := staggeredSchedule(spec.Speakers, window, spec.AttackStartFrac, spec.StaggerFrac)
+	steps := staggeredSchedule(spec.Speakers, window, spec.AttackStartFrac, *spec.StaggerFrac)
 	dets := sonar.DetectSchedule(lay, arr, steps, parallel.SeedFor(spec.Seed, 1))
 
 	res := SonarResult{Window: window, Detections: dets}

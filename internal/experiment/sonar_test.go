@@ -3,6 +3,10 @@ package experiment
 import (
 	"reflect"
 	"testing"
+	"time"
+
+	"deepnote/internal/cluster"
+	"deepnote/internal/units"
 )
 
 // TestSonarRunClosesTheLoop: the headline acceptance — under the staged
@@ -79,6 +83,42 @@ func TestSonarRunDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(base, res) {
 			t.Fatalf("workers=%d diverged from workers=1", w)
+		}
+	}
+}
+
+// TestSpecZeroFieldsHonored pins the zero-vs-unset contract on the
+// campaign specs' pointer fields: explicit zeros configure meaningful
+// scenarios (simultaneous key-ons, a hydrophone ring at the facility
+// perimeter) and must not be silently replaced by the defaults.
+func TestSpecZeroFieldsHonored(t *testing.T) {
+	s := SonarSpec{
+		StaggerFrac: cluster.Ptr(0.0),
+		Standoff:    cluster.Ptr(units.Distance(0)),
+	}.withDefaults()
+	if *s.StaggerFrac != 0 {
+		t.Fatalf("explicit zero StaggerFrac replaced by %v", *s.StaggerFrac)
+	}
+	if *s.Standoff != 0 {
+		t.Fatalf("explicit zero Standoff replaced by %v", *s.Standoff)
+	}
+	d := SonarSpec{}.withDefaults()
+	if *d.StaggerFrac != 0.2 || *d.Standoff != 3*units.Meter {
+		t.Fatalf("nil defaults wrong: stagger %v standoff %v", *d.StaggerFrac, *d.Standoff)
+	}
+	cs := ClusterSpec{Standoff: cluster.Ptr(units.Distance(0))}.withDefaults()
+	if *cs.Standoff != 0 {
+		t.Fatalf("explicit zero ClusterSpec.Standoff replaced by %v", *cs.Standoff)
+	}
+	if cd := (ClusterSpec{}).withDefaults(); *cd.Standoff != 3*units.Meter {
+		t.Fatalf("nil ClusterSpec.Standoff default wrong: %v", *cd.Standoff)
+	}
+	// A zero stagger collapses the escalation: every key-on lands at the
+	// same instant, leaving the defense no reaction window.
+	steps := staggeredSchedule(3, time.Second, 0.25, 0)
+	for _, st := range steps {
+		if st.At != 250*time.Millisecond {
+			t.Fatalf("zero stagger: key-on at %v, want all at 250ms", st.At)
 		}
 	}
 }

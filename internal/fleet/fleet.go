@@ -1,0 +1,445 @@
+// Package fleet lifts the single-facility cluster into a geo-distributed
+// multi-facility tier: several cluster.Layout sites connected by a
+// deterministic WAN model (per-link latency distributions, bandwidth
+// serialization, injected link flaps, site partitions, and brownouts),
+// with a cross-facility placement layer that spreads erasure shards
+// across acoustic blast radii within a site and across sites.
+//
+// The serving engine reuses the event-driven core (internal/sched): every
+// node drains its own event queue on its own virtual clock, cross-node
+// causality is resolved at epoch boundaries, and every stochastic draw is
+// a pure hash of (seed, event) — so results are byte-identical at any
+// worker count. Robustness is the point of the tier: cross-site failover
+// reads under per-request deadline budgets, doubling backoff with
+// tail-triggered hedging, a circuit breaker per WAN link, and a
+// serve-degraded vs. shed policy for when a whole facility goes dark
+// mid-attack.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"deepnote/internal/blockdev"
+	"deepnote/internal/cluster"
+	"deepnote/internal/enclosure"
+	"deepnote/internal/hdd"
+	"deepnote/internal/metrics"
+	"deepnote/internal/netstore"
+	"deepnote/internal/parallel"
+	"deepnote/internal/sched"
+	"deepnote/internal/simclock"
+	"deepnote/internal/units"
+)
+
+// SiteSpec is one facility: a named cluster layout in its own water body
+// (sites are acoustically isolated from each other — only the WAN and
+// the placement couple them).
+type SiteSpec struct {
+	Name   string
+	Layout cluster.Layout
+}
+
+// Resilience tunes the fleet gateway's robustness machinery, mirroring
+// the netstore.Config.Resilience idioms at WAN scale.
+type Resilience struct {
+	// Deadline is the per-request issue budget: no failover wave is
+	// issued after arrival+Deadline, and a wave whose doubled backoff
+	// would overshoot the deadline is clamped to a final attempt at the
+	// deadline edge (the blockdev.Retrier boundary contract). Default
+	// 500 ms.
+	Deadline time.Duration
+	// RetryBackoff is the sleep before the first failover wave; it
+	// doubles each wave (default 15 ms).
+	RetryBackoff time.Duration
+	// HedgeAfter triggers hedging: a failover wave issued after the
+	// request has already been in flight longer than this requests one
+	// source beyond what it strictly needs (default 120 ms).
+	HedgeAfter time.Duration
+	// BreakerThreshold opens a WAN link's circuit breaker after this
+	// many consecutive failed ops over the link (default 6).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds ops before
+	// letting a probe through (default 300 ms).
+	BreakerCooldown time.Duration
+	// Shed switches the degradation policy when sources are unreachable:
+	// false (default) is serve-degraded — keep walking parity and remote
+	// sites until the deadline budget runs out; true sheds the request
+	// immediately once the reachable sources cannot complete it.
+	Shed bool
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.Deadline <= 0 {
+		r.Deadline = 500 * time.Millisecond
+	}
+	if r.RetryBackoff <= 0 {
+		r.RetryBackoff = 15 * time.Millisecond
+	}
+	if r.HedgeAfter <= 0 {
+		r.HedgeAfter = 120 * time.Millisecond
+	}
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = 6
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = 300 * time.Millisecond
+	}
+	return r
+}
+
+// Config sizes the fleet.
+type Config struct {
+	// Sites are the facilities (at least two).
+	Sites []SiteSpec
+	// DataShards (k) and ParityShards (m) set the erasure code
+	// (defaults 4+2). Every object is striped k-of-n across nodes
+	// chosen by Placement.
+	DataShards, ParityShards int
+	// Objects is the global keyspace size (default 64).
+	Objects int
+	// ObjectSize is the client object size in bytes (default 32 KiB).
+	ObjectSize int
+	// Placement chooses the shard-spreading policy (default
+	// PlacementAttackAware).
+	Placement Placement
+	// Net templates the per-node netstore servers; ObjectSize, Objects,
+	// and Seed are overridden per node.
+	Net netstore.Config
+	// WAN models the inter-site network.
+	WAN WANConfig
+	// Resilience tunes the gateway's failover machinery.
+	Resilience Resilience
+	// Seed drives every stochastic element; sub-seeds are derived with
+	// parallel.SeedFor and per-op draws with sched.Hash64, so results
+	// are identical at any worker count. nil means 1; an explicit
+	// cluster.Ptr(int64(0)) is honored.
+	Seed *int64
+	// Workers bounds the fan-out across nodes (≤ 0 = all CPUs). Worker
+	// count never changes results, only wall-clock time.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataShards <= 0 {
+		c.DataShards = 4
+	}
+	if c.ParityShards <= 0 {
+		c.ParityShards = 2
+	}
+	if c.Objects <= 0 {
+		c.Objects = 64
+	}
+	if c.ObjectSize <= 0 {
+		c.ObjectSize = 32 << 10
+	}
+	if c.Seed == nil {
+		c.Seed = cluster.Ptr(int64(1))
+	}
+	c.WAN = c.WAN.withDefaults()
+	c.Resilience = c.Resilience.withDefaults()
+	return c
+}
+
+func (c Config) seed() int64 { return *c.Seed }
+
+// node is one container's victim stack at a site: mechanics on its own
+// virtual clock, a block device, a netstore front end, and its own event
+// queue — the same per-resource isolation that makes the cluster engine
+// deterministic at any worker count.
+type node struct {
+	site, container int
+	asm             enclosure.Assembly
+	clock           *simclock.Virtual
+	drive           *hdd.Drive
+	disk            *blockdev.Disk
+	server          *netstore.Server
+	stepIdx         int
+	runner          sched.Runner
+}
+
+// Fleet is the assembled multi-facility store.
+type Fleet struct {
+	cfg       Config
+	coder     *cluster.Coder
+	shardSize int
+	model     hdd.Model
+	nodes     []*node
+	siteBase  []int // first node index per site
+	siteSize  []int // nodes (containers) per site
+
+	// stripes caches each object's encoded shards; client PUTs rewrite
+	// the same deterministic content, so GET verification is exact.
+	stripes [][][]byte
+
+	// Per-site cached transfer functions: tf[s] holds site s's
+	// per-(speaker, local node) gains, tfFreqs[s] the speaker tones.
+	tf      []sched.TransferCache
+	tfFreqs [][]units.Frequency
+
+	// schedules[s] is site s's attack schedule; vibs[s][step][local]
+	// the precomputed superposed vibrations.
+	schedules [][]cluster.ScheduleStep
+	vibs      [][][]hdd.Vibration
+
+	links   []link
+	linkAt  []int16 // linkAt[a*S+b] = link index, -1 on the diagonal
+	wanSeed int64
+
+	origin time.Time
+	last   Result
+
+	// Serving buffers, reused across Serve calls.
+	reqs           []reqState
+	ops            []wanOp
+	pendingBuf     []int32
+	orderBuf       []uint16
+	epochSort      []int32
+	latGet, latPut []time.Duration
+}
+
+// New assembles the fleet.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Sites) < 2 {
+		return nil, fmt.Errorf("fleet: need at least 2 sites, got %d", len(cfg.Sites))
+	}
+	coder, err := cluster.NewCoder(cfg.DataShards, cfg.ParityShards)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:       cfg,
+		coder:     coder,
+		shardSize: coder.ShardSize(cfg.ObjectSize),
+		model:     hdd.Barracuda500(),
+		wanSeed:   parallel.SeedFor(cfg.seed(), 1_000_003),
+	}
+	n := coder.TotalShards()
+	if n > 32 {
+		// The serving arena tracks confirmed shards in a 32-bit mask.
+		return nil, fmt.Errorf("fleet: %d total shards exceeds the 32-shard stripe limit", n)
+	}
+	S := len(cfg.Sites)
+	for s, site := range cfg.Sites {
+		if err := site.Layout.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: site %d (%s): %w", s, site.Name, err)
+		}
+		C := len(site.Layout.Containers)
+		if min := minContainers(cfg.Placement, n, S); C < min {
+			return nil, fmt.Errorf("fleet: site %d (%s) has %d containers, %s placement needs >= %d",
+				s, site.Name, C, cfg.Placement, min)
+		}
+		f.siteBase = append(f.siteBase, len(f.nodes))
+		f.siteSize = append(f.siteSize, C)
+		for ct := 0; ct < C; ct++ {
+			asm, err := site.Layout.Containers[ct].Scenario.Assembly()
+			if err != nil {
+				return nil, err
+			}
+			if asm.Mount.Tower != nil {
+				asm.Mount = enclosure.TowerMount(*asm.Mount.Tower, 0)
+			}
+			idx := len(f.nodes)
+			clock := simclock.NewVirtual()
+			drive, err := hdd.NewDrive(f.model, clock, parallel.SeedFor(cfg.seed(), 2*idx))
+			if err != nil {
+				return nil, err
+			}
+			disk := blockdev.NewDisk(drive)
+			net := cfg.Net
+			net.ObjectSize = f.shardSize
+			net.Objects = cfg.Objects
+			net.Seed = parallel.SeedFor(cfg.seed(), 2*idx+1)
+			nd := &node{
+				site: s, container: ct, asm: asm,
+				clock: clock, drive: drive, disk: disk,
+				server:  netstore.NewServer(disk, clock, net),
+				stepIdx: -1,
+			}
+			nd.runner.Clock = clock
+			f.nodes = append(f.nodes, nd)
+		}
+	}
+	f.stripes = make([][][]byte, cfg.Objects)
+	for o := range f.stripes {
+		f.stripes[o] = coder.Encode(objectPayload(o, cfg.ObjectSize))
+	}
+	// Cache every site's speaker→node transfer functions once: layouts
+	// and tones are immutable after New, so attack schedules only
+	// superpose cached gains.
+	f.tf = make([]sched.TransferCache, S)
+	f.tfFreqs = make([][]units.Frequency, S)
+	f.schedules = make([][]cluster.ScheduleStep, S)
+	f.vibs = make([][][]hdd.Vibration, S)
+	for s := range cfg.Sites {
+		lay := cfg.Sites[s].Layout
+		f.tfFreqs[s] = make([]units.Frequency, len(lay.Speakers))
+		for sp := range lay.Speakers {
+			f.tfFreqs[s][sp] = lay.Speakers[sp].Tone.Normalize().Freq
+		}
+		base := f.siteBase[s]
+		f.tf[s].Ensure(len(lay.Speakers), f.siteSize[s], func(sp, local int) float64 {
+			nd := f.nodes[base+local]
+			_, amp := lay.SpeakerAmp(sp, nd.container, nd.asm, f.model)
+			return amp
+		})
+	}
+	f.buildLinks()
+	return f, nil
+}
+
+// Config returns the effective configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Nodes returns the total node count across sites.
+func (f *Fleet) Nodes() int { return len(f.nodes) }
+
+// objectPayload is the deterministic content of object o (the cluster
+// convention, so the two tiers' stores are directly comparable).
+func objectPayload(o, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte((o*131 + i*7 + (i>>8)*13) ^ 0x5a)
+	}
+	return b
+}
+
+// SetAttack programs site s's acoustic attack: steps sorted by offset;
+// before the first step (and with nil steps) every speaker at the site
+// is silent. Vibrations are superposed up front from the cached
+// per-(speaker, node) transfer functions.
+func (f *Fleet) SetAttack(s int, steps []cluster.ScheduleStep) error {
+	if s < 0 || s >= len(f.cfg.Sites) {
+		return fmt.Errorf("fleet: SetAttack site %d outside [0, %d)", s, len(f.cfg.Sites))
+	}
+	plan := append([]cluster.ScheduleStep(nil), steps...)
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	f.schedules[s] = plan
+	f.vibs[s] = make([][]hdd.Vibration, len(plan))
+	speakers := len(f.cfg.Sites[s].Layout.Speakers)
+	for si, step := range plan {
+		active := step.Active
+		if active == nil {
+			active = make([]bool, speakers)
+		}
+		f.vibs[s][si] = make([]hdd.Vibration, f.siteSize[s])
+		for local := 0; local < f.siteSize[s]; local++ {
+			gainAt := func(sp int) float64 { return f.tf[s].Gain(sp, local) }
+			freqAt := func(sp int) units.Frequency { return f.tfFreqs[s][sp] }
+			f.vibs[s][si][local] = cluster.SuperposeGains(speakers, freqAt, gainAt, active)
+		}
+	}
+	for local := 0; local < f.siteSize[s]; local++ {
+		nd := f.nodes[f.siteBase[s]+local]
+		nd.stepIdx = -1
+		nd.drive.SetVibration(hdd.Quiet())
+	}
+	return nil
+}
+
+// applyAttack advances node ni's vibration to its site's schedule step in
+// effect at offset (forward-only scan, as in the cluster engine).
+func (f *Fleet) applyAttack(ni int, offset time.Duration) {
+	nd := f.nodes[ni]
+	steps := f.schedules[nd.site]
+	step := nd.stepIdx
+	for step+1 < len(steps) && steps[step+1].At <= offset {
+		step++
+	}
+	if step == nd.stepIdx {
+		return
+	}
+	nd.stepIdx = step
+	nd.drive.SetVibration(f.vibs[nd.site][step][ni-f.siteBase[nd.site]])
+}
+
+// Preload writes every shard to its placement node before serving starts
+// (speakers silent, WAN idle — preload is an out-of-band bulk load), then
+// aligns all node clocks to the slowest.
+func (f *Fleet) Preload() error {
+	n := f.coder.TotalShards()
+	work := make([][][2]int, len(f.nodes))
+	for o := 0; o < f.cfg.Objects; o++ {
+		for j := 0; j < n; j++ {
+			ni := f.shardNode(o, j)
+			work[ni] = append(work[ni], [2]int{o, j})
+		}
+	}
+	_, err := parallel.Run(context.Background(), parallel.Indices(len(f.nodes)), f.cfg.Workers,
+		func(_ context.Context, ni int, _ int) (struct{}, error) {
+			nd := f.nodes[ni]
+			for _, oj := range work[ni] {
+				_, resp := nd.server.HandleObjectShared(netstore.Put, oj[0], f.stripes[oj[0]][oj[1]])
+				if resp.Err != nil {
+					return struct{}{}, fmt.Errorf("fleet: preload object %d shard %d on node %d: %w",
+						oj[0], oj[1], ni, resp.Err)
+				}
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return err
+	}
+	f.origin = f.nodes[0].clock.Now()
+	for _, nd := range f.nodes[1:] {
+		if t := nd.clock.Now(); t.After(f.origin) {
+			f.origin = t
+		}
+	}
+	for _, nd := range f.nodes {
+		if dt := f.origin.Sub(nd.clock.Now()); dt > 0 {
+			nd.clock.Advance(dt)
+		}
+	}
+	return nil
+}
+
+// PublishMetrics pushes the fleet's serving counters (under the "fleet."
+// prefix) plus every node's hdd/blockdev/netstore counters into a
+// registry. No-op on nil; metrics never touch clocks or draws, so
+// results are identical with metrics on or off.
+func (f *Fleet) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r := f.last
+	reg.Add("fleet.requests", int64(r.Requests))
+	reg.Add("fleet.gets", int64(r.Gets))
+	reg.Add("fleet.puts", int64(r.Puts))
+	reg.Add("fleet.get_failures", int64(r.GetFailures))
+	reg.Add("fleet.put_failures", int64(r.PutFailures))
+	reg.Add("fleet.degraded_reads", int64(r.DegradedReads))
+	reg.Add("fleet.degraded_writes", int64(r.DegradedWrites))
+	reg.Add("fleet.corrupt_reads", int64(r.CorruptReads))
+	reg.Add("fleet.checksum_misses", int64(r.ChecksumMisses))
+	reg.Add("fleet.shard_reads", int64(r.ShardReads))
+	reg.Add("fleet.shard_writes", int64(r.ShardWrites))
+	reg.Add("fleet.shard_read_errors", int64(r.ShardReadErrors))
+	reg.Add("fleet.shard_write_errors", int64(r.ShardWriteErrors))
+	reg.Add("fleet.cross_site_ops", int64(r.CrossSiteOps))
+	reg.Add("fleet.failover_waves", int64(r.FailoverWaves))
+	reg.Add("fleet.hedged_requests", int64(r.HedgedRequests))
+	reg.Add("fleet.shed_requests", int64(r.ShedRequests))
+	reg.Add("fleet.deadline_exhausted", int64(r.DeadlineExhausted))
+	reg.Add("fleet.wan_drops", int64(r.WANDrops))
+	reg.Add("fleet.wan_fast_fails", int64(r.FastFails))
+	reg.Add("fleet.breaker_opens", int64(r.BreakerOpens))
+	reg.Add("fleet.breaker_closes", int64(r.BreakerCloses))
+	reg.Add("fleet.bytes_served", r.BytesServed)
+	reg.MaxGauge("fleet.goodput_mbps", r.GoodputMBps)
+	reg.MaxGauge("fleet.p99_ms", float64(r.P99)/1e6)
+	for _, l := range f.latGet {
+		reg.Observe("fleet.get_latency_ns", int64(l))
+	}
+	for _, l := range f.latPut {
+		reg.Observe("fleet.put_latency_ns", int64(l))
+	}
+	for _, nd := range f.nodes {
+		nd.drive.PublishMetrics(reg)
+		nd.disk.PublishMetrics(reg)
+		nd.server.PublishMetrics(reg)
+	}
+}

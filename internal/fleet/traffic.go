@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"deepnote/internal/cluster"
+)
+
+// TrafficSpec describes a global open-loop workload: millions-of-users
+// traffic compressed to a representative request count — zipfian keys
+// (a hot head of popular objects) issued from every region, with each
+// region's request share following a phase-shifted diurnal curve (the
+// planet's load rotates across the facilities). Generation is serial
+// and seeded, so the schedule is byte-identical at any worker count.
+type TrafficSpec struct {
+	// Requests is the total number of client requests (default 2000).
+	Requests int
+	// Rate is the global open-loop arrival rate per second (default
+	// 1500).
+	Rate float64
+	// ReadFraction is the GET share; nil means 0.9, an explicit
+	// cluster.Ptr(0.0) is a pure-write workload.
+	ReadFraction *float64
+	// ZipfS and ZipfV shape the key popularity (defaults 1.2 and 1).
+	ZipfS, ZipfV float64
+	// DiurnalAmp is the amplitude of each region's load swing around its
+	// equal share, in [0, 1] (default 0.6; 0 disables the diurnal curve
+	// — regions stay uniform).
+	DiurnalAmp float64
+	// Period is the diurnal cycle length (default: the serving window,
+	// so one run sees one full planetary rotation).
+	Period time.Duration
+	// Seed drives the workload draws; nil means 7, explicit zero
+	// honored.
+	Seed *int64
+}
+
+func (s TrafficSpec) withDefaults() (TrafficSpec, error) {
+	if s.Requests <= 0 {
+		s.Requests = 2000
+	}
+	if s.Rate <= 0 {
+		s.Rate = 1500
+	}
+	if s.ReadFraction == nil {
+		s.ReadFraction = cluster.Ptr(0.9)
+	}
+	if *s.ReadFraction < 0 || *s.ReadFraction > 1 {
+		return s, fmt.Errorf("fleet: ReadFraction %v outside [0, 1]", *s.ReadFraction)
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.2
+	}
+	if s.ZipfV < 1 {
+		s.ZipfV = 1
+	}
+	if s.DiurnalAmp < 0 || s.DiurnalAmp > 1 {
+		return s, fmt.Errorf("fleet: DiurnalAmp %v outside [0, 1]", s.DiurnalAmp)
+	}
+	if s.Seed == nil {
+		s.Seed = cluster.Ptr(int64(7))
+	}
+	return s, nil
+}
+
+// ReqOutcome is one request's ledger entry, retained so availability and
+// tail latency can be re-cut over any time window (e.g. exactly the
+// attack interval) after the run.
+type ReqOutcome struct {
+	Arrival time.Duration
+	Latency time.Duration
+	Site    uint8
+	Get     bool
+	OK      bool
+}
+
+// SiteStats is one site's client-side request ledger.
+type SiteStats struct {
+	Name        string
+	Gets, GetOK int
+	Puts, PutOK int
+}
+
+// Result summarizes one fleet serving run.
+type Result struct {
+	// Request-level outcomes.
+	Requests, Gets, Puts     int
+	GetOK, PutOK             int
+	GetFailures, PutFailures int
+	// DegradedReads are GETs that needed at least one failover wave or
+	// lost at least one shard op yet still completed; DegradedWrites are
+	// PUTs acked with fewer than all n shards durable (but at least k).
+	DegradedReads, DegradedWrites int
+	// CorruptReads counts GETs acknowledged OK whose reassembled bytes
+	// would not match the object's true content. Every accepted shard is
+	// byte-verified against the encoded stripe at the storage node, so
+	// this must be zero — the fleet fails a read rather than serving
+	// rotted bytes.
+	CorruptReads int
+	// ChecksumMisses counts shard reads rejected because the returned
+	// bytes did not match the stripe (the end-to-end checksum model).
+	ChecksumMisses int
+	// MinPutShards is the smallest durable-shard count among acked PUTs.
+	MinPutShards int
+
+	// Shard-level accounting.
+	ShardReads, ShardWrites           int
+	ShardReadErrors, ShardWriteErrors int
+
+	// Robustness machinery.
+	CrossSiteOps      int // shard ops that crossed a WAN link
+	FailoverWaves     int // extra GET waves beyond the initial k
+	HedgedRequests    int // GETs that issued a speculative extra source
+	ShedRequests      int // requests failed fast by the shed policy
+	DeadlineExhausted int // GETs that ran out their deadline budget
+	WANDrops          int // ops swallowed by a down link (observed at +Timeout)
+	FastFails         int // ops shed instantly by an open link breaker
+	BreakerOpens      int // closed→open transitions across all links
+	BreakerCloses     int // open→closed transitions across all links
+
+	// Throughput and latency. Quantiles are time-to-verdict over ALL
+	// requests: a failed request counts at the moment the gateway gave
+	// up on it, so unavailability cannot flatter the tail — a placement
+	// that hard-fails its slow requests does not get to drop them from
+	// the latency pool.
+	BytesServed int64
+	Span        time.Duration
+	GoodputMBps float64
+	P50, P99    time.Duration
+	Max         time.Duration
+
+	// PerSite cuts the ledger by the requesting client's region.
+	PerSite []SiteStats
+	// Outcomes is the full per-request ledger (arrival order).
+	Outcomes []ReqOutcome
+}
+
+// GetAvailability is the fraction of GETs served.
+func (r Result) GetAvailability() float64 {
+	if r.Gets == 0 {
+		return 1
+	}
+	return float64(r.GetOK) / float64(r.Gets)
+}
+
+// PutAvailability is the fraction of PUTs acked.
+func (r Result) PutAvailability() float64 {
+	if r.Puts == 0 {
+		return 1
+	}
+	return float64(r.PutOK) / float64(r.Puts)
+}
+
+// Availability is the overall served fraction.
+func (r Result) Availability() float64 {
+	if r.Requests == 0 {
+		return 1
+	}
+	return float64(r.GetOK+r.PutOK) / float64(r.Requests)
+}
+
+// WindowStats re-cuts the ledger over one time window.
+type WindowStats struct {
+	Gets, GetOK int
+	Puts, PutOK int
+	P50, P99    time.Duration
+}
+
+// GetAvailability is the windowed GET served fraction.
+func (w WindowStats) GetAvailability() float64 {
+	if w.Gets == 0 {
+		return 1
+	}
+	return float64(w.GetOK) / float64(w.Gets)
+}
+
+// Window cuts availability and latency quantiles over requests arriving
+// in [from, to) — e.g. exactly the facility-attack interval, where the
+// headline aware-vs-naive gap lives.
+func (r Result) Window(from, to time.Duration) WindowStats {
+	var w WindowStats
+	lat := make([]time.Duration, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		if o.Arrival < from || o.Arrival >= to {
+			continue
+		}
+		if o.Get {
+			w.Gets++
+			if o.OK {
+				w.GetOK++
+			}
+		} else {
+			w.Puts++
+			if o.OK {
+				w.PutOK++
+			}
+		}
+		// Time-to-verdict: failures count at the moment they failed.
+		lat = append(lat, o.Latency)
+	}
+	w.P50, w.P99 = quantile(lat, 0.50), quantile(lat, 0.99)
+	return w
+}
+
+// quantile returns the q-quantile of lat (nearest-rank on a sorted
+// copy); 0 on an empty slice.
+func quantile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// genRequests fills f.reqs with the serial, seeded workload schedule.
+func (f *Fleet) genRequests(spec TrafficSpec, window time.Duration) {
+	rng := rand.New(rand.NewSource(*spec.Seed))
+	zipf := rand.NewZipf(rng, spec.ZipfS, spec.ZipfV, uint64(f.cfg.Objects-1))
+	S := len(f.cfg.Sites)
+	period := spec.Period
+	if period <= 0 {
+		period = window
+	}
+	deadline := int64(f.cfg.Resilience.Deadline)
+	weights := make([]float64, S)
+	if cap(f.reqs) < spec.Requests {
+		f.reqs = make([]reqState, spec.Requests)
+	}
+	f.reqs = f.reqs[:spec.Requests]
+	for i := range f.reqs {
+		at := arrivalNS(i, spec.Rate)
+		// Phase-shifted diurnal share: region s peaks when the sun (or
+		// the evening Netflix hour) is over it.
+		tfrac := float64(at) / float64(period)
+		sum := 0.0
+		for s := 0; s < S; s++ {
+			w := 1 + spec.DiurnalAmp*math.Sin(2*math.Pi*(tfrac+float64(s)/float64(S)))
+			if w < 0 {
+				w = 0
+			}
+			weights[s] = w
+			sum += w
+		}
+		draw := rng.Float64() * sum
+		site := 0
+		for acc := weights[0]; site < S-1 && draw >= acc; {
+			site++
+			acc += weights[site]
+		}
+		var flags uint8
+		if rng.Float64() >= *spec.ReadFraction {
+			flags = fPut
+		}
+		f.reqs[i] = reqState{
+			arrival:  at,
+			deadline: at + deadline,
+			end:      at,
+			object:   int32(zipf.Uint64()),
+			site:     uint8(site),
+			flags:    flags,
+		}
+	}
+}
+
+// arrivalNS returns request i's open-loop arrival offset in integer
+// nanoseconds (integer path for whole-number rates so long schedules
+// stay strictly monotone — the cluster tier's convention).
+func arrivalNS(i int, rate float64) int64 {
+	if rate >= 1 && rate <= 1e9 && rate == math.Trunc(rate) {
+		r := int64(rate)
+		return int64(i)/r*int64(time.Second) + int64(i)%r*int64(time.Second)/r
+	}
+	return int64(math.Round(float64(i) / rate * 1e9))
+}

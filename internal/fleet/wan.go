@@ -1,0 +1,285 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"deepnote/internal/parallel"
+	"deepnote/internal/sched"
+)
+
+// WANConfig models the inter-site network: a full mesh of symmetric
+// links, each with a base RTT, uniform jitter, and a bandwidth that
+// serializes shard transfers. Faults are declarative time windows — a
+// pure function of the virtual clock, so the same spec yields the same
+// byte-identical run at any worker count (the faultinj idiom, lifted to
+// links).
+type WANConfig struct {
+	// RTT is the default round-trip time between sites (default 30 ms).
+	RTT time.Duration
+	// Jitter is the uniform ± jitter on the RTT (default 3 ms; negative
+	// disables jitter), drawn per op by hashing (link seed, op
+	// sequence) — never an ordered RNG stream, so issue order cannot
+	// perturb other draws.
+	Jitter time.Duration
+	// GbitPerSec is the link bandwidth (default 10); a shard transfer
+	// adds size·8/GbitPerSec ns of serialization delay.
+	GbitPerSec float64
+	// Timeout is how long the gateway waits before declaring an op
+	// swallowed by a down link (default 200 ms). Drops are observed at
+	// issue+Timeout and feed the link's circuit breaker.
+	Timeout time.Duration
+	// Links overrides per-link parameters (zero fields inherit the
+	// defaults above).
+	Links []LinkSpec
+	// Faults are the injected WAN faults.
+	Faults []Fault
+}
+
+func (w WANConfig) withDefaults() WANConfig {
+	if w.RTT <= 0 {
+		w.RTT = 30 * time.Millisecond
+	}
+	if w.Jitter < 0 {
+		w.Jitter = 0
+	} else if w.Jitter == 0 {
+		w.Jitter = 3 * time.Millisecond
+	}
+	if w.GbitPerSec <= 0 {
+		w.GbitPerSec = 10
+	}
+	if w.Timeout <= 0 {
+		w.Timeout = 200 * time.Millisecond
+	}
+	return w
+}
+
+// LinkSpec overrides one site-pair's link parameters.
+type LinkSpec struct {
+	A, B       int
+	RTT        time.Duration
+	Jitter     time.Duration
+	GbitPerSec float64
+}
+
+// FaultKind classifies an injected WAN fault.
+type FaultKind int
+
+const (
+	// LinkFlap takes one link (A↔B) hard down for the window.
+	LinkFlap FaultKind = iota
+	// SitePartition takes every link touching site A down — the
+	// facility is unreachable, though its local clients still hit its
+	// local shards.
+	SitePartition
+	// Brownout multiplies the A↔B link's RTT by Factor for the window
+	// (congestion, not loss).
+	Brownout
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case LinkFlap:
+		return "link-flap"
+	case SitePartition:
+		return "site-partition"
+	case Brownout:
+		return "brownout"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one declarative WAN fault window, active on
+// [Start, Start+Duration) of the serving timeline.
+type Fault struct {
+	Kind FaultKind
+	// A and B name the site pair (LinkFlap, Brownout); SitePartition
+	// uses only A.
+	A, B int
+	// Start and Duration bound the window.
+	Start    time.Duration
+	Duration time.Duration
+	// Factor is the Brownout RTT multiplier (default 4).
+	Factor float64
+}
+
+func (fa Fault) active(at int64) bool {
+	return at >= int64(fa.Start) && at < int64(fa.Start+fa.Duration)
+}
+
+func (fa Fault) hits(a, b int) bool {
+	if fa.Kind == SitePartition {
+		return a == fa.A || b == fa.A
+	}
+	return (a == fa.A && b == fa.B) || (a == fa.B && b == fa.A)
+}
+
+// span is one half-open time window.
+type span struct{ from, to int64 }
+
+// link is one undirected site pair plus its gateway-side circuit
+// breaker. Breaker state only ever mutates in the serial combine step,
+// folded over outcomes sorted by observation time — never during
+// concurrent node drains. Because planning issues ops at virtual times
+// the fold has already moved past, the breaker keeps its shedding
+// decisions as a history of windows: every open (and every failed-probe
+// re-arm) at time T sheds the ops issued in [T, T+cooldown), whenever
+// they are planned. Queries against history are order-independent, so
+// epoch granularity cannot perturb them.
+type link struct {
+	a, b        int
+	rtt, jitter int64
+	gbps        float64
+	seed        int64
+
+	open     bool
+	strk     int
+	openedAt int64
+	shed     []span
+}
+
+func (f *Fleet) buildLinks() {
+	s := len(f.cfg.Sites)
+	f.linkAt = make([]int16, s*s)
+	for i := range f.linkAt {
+		f.linkAt[i] = -1
+	}
+	w := f.cfg.WAN
+	for a := 0; a < s; a++ {
+		for b := a + 1; b < s; b++ {
+			l := link{
+				a: a, b: b,
+				rtt:    int64(w.RTT),
+				jitter: int64(w.Jitter),
+				gbps:   w.GbitPerSec,
+				seed:   parallel.SeedFor(f.wanSeed, a*s+b),
+			}
+			for _, ls := range w.Links {
+				if (ls.A == a && ls.B == b) || (ls.A == b && ls.B == a) {
+					if ls.RTT > 0 {
+						l.rtt = int64(ls.RTT)
+					}
+					if ls.Jitter > 0 {
+						l.jitter = int64(ls.Jitter)
+					}
+					if ls.GbitPerSec > 0 {
+						l.gbps = ls.GbitPerSec
+					}
+				}
+			}
+			idx := int16(len(f.links))
+			f.linkAt[a*s+b], f.linkAt[b*s+a] = idx, idx
+			f.links = append(f.links, l)
+		}
+	}
+}
+
+// linkIdx returns the link index for a site pair (a != b).
+func (f *Fleet) linkIdx(a, b int) int {
+	return int(f.linkAt[a*len(f.cfg.Sites)+b])
+}
+
+// linkDown reports whether a flap or partition has the link down at
+// offset `at` on the serving timeline.
+func (f *Fleet) linkDown(li int, at int64) bool {
+	l := &f.links[li]
+	for _, fa := range f.cfg.WAN.Faults {
+		if fa.Kind != Brownout && fa.active(at) && fa.hits(l.a, l.b) {
+			return true
+		}
+	}
+	return false
+}
+
+// linkFactor returns the brownout RTT multiplier at offset `at` (1 when
+// no brownout is active; concurrent brownouts compound).
+func (f *Fleet) linkFactor(li int, at int64) float64 {
+	l := &f.links[li]
+	factor := 1.0
+	for _, fa := range f.cfg.WAN.Faults {
+		if fa.Kind == Brownout && fa.active(at) && fa.hits(l.a, l.b) {
+			mul := fa.Factor
+			if mul <= 0 {
+				mul = 4
+			}
+			factor *= mul
+		}
+	}
+	return factor
+}
+
+// wanDelays samples the outbound and return delays for op opSeq crossing
+// link li at offset `at`. The jitter draw hashes (link seed, opSeq), so
+// it is independent of dispatch order; brownouts scale the whole RTT;
+// bandwidth serialization rides on the payload-bearing direction (out
+// for PUT, return for GET).
+func (f *Fleet) wanDelays(li int, opSeq uint64, at int64, put bool) (out, ret int64) {
+	l := &f.links[li]
+	u := sched.HashUnit(uint64(l.seed), opSeq)
+	rtt := l.rtt + int64((2*u-1)*float64(l.jitter))
+	rtt = int64(float64(rtt) * f.linkFactor(li, at))
+	if rtt < 0 {
+		rtt = 0
+	}
+	ser := int64(float64(f.shardSize) * 8 / l.gbps)
+	out, ret = rtt/2, rtt-rtt/2
+	if put {
+		out += ser
+	} else {
+		ret += ser
+	}
+	return out, ret
+}
+
+// breakerAllows decides whether the gateway sends an op issued at
+// virtual time `at` over link li: it is shed iff `at` falls inside a
+// recorded shed window. Ops past a window's end pass as half-open
+// probes; a probe that fails re-arms a fresh window.
+func (f *Fleet) breakerAllows(li int, at int64) bool {
+	for _, sp := range f.links[li].shed {
+		if at >= sp.from && at < sp.to {
+			return false
+		}
+	}
+	return true
+}
+
+// breakerObserve folds one op outcome into link li's breaker. Called
+// only from the serial combine step in (observation time, op index)
+// order. Opens count only on the closed→open transition; a failed probe
+// re-arms the cooldown without a fresh open (one outage, one incident —
+// the netstore breaker contract).
+func (f *Fleet) breakerObserve(li int, end int64, ok bool, res *Result) {
+	l := &f.links[li]
+	if ok {
+		l.strk = 0
+		if l.open {
+			l.open = false
+			res.BreakerCloses++
+		}
+		return
+	}
+	l.strk++
+	if l.open {
+		l.openedAt = end
+		l.shed = append(l.shed, span{end, end + int64(f.cfg.Resilience.BreakerCooldown)})
+		return
+	}
+	if l.strk >= f.cfg.Resilience.BreakerThreshold {
+		l.open = true
+		l.openedAt = end
+		l.shed = append(l.shed, span{end, end + int64(f.cfg.Resilience.BreakerCooldown)})
+		res.BreakerOpens++
+	}
+}
+
+// resetBreakers returns every link to closed before a serve run.
+func (f *Fleet) resetBreakers() {
+	for i := range f.links {
+		f.links[i].open = false
+		f.links[i].strk = 0
+		f.links[i].openedAt = 0
+		f.links[i].shed = f.links[i].shed[:0]
+	}
+}

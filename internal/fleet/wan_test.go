@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func testWANFleet(t *testing.T, faults ...Fault) *Fleet {
+	t.Helper()
+	cfg := testFleetConfig(PlacementAttackAware, 0)
+	cfg.WAN.Faults = faults
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFaultWindowsGateLinks(t *testing.T) {
+	flap := Fault{Kind: LinkFlap, A: 0, B: 1, Start: 100 * time.Millisecond, Duration: 50 * time.Millisecond}
+	part := Fault{Kind: SitePartition, A: 2, Start: 300 * time.Millisecond, Duration: 100 * time.Millisecond}
+	f := testWANFleet(t, flap, part)
+	l01, l02, l12 := f.linkIdx(0, 1), f.linkIdx(0, 2), f.linkIdx(1, 2)
+	if l01 != f.linkIdx(1, 0) {
+		t.Fatal("link index not symmetric")
+	}
+	at := func(d time.Duration) int64 { return int64(d) }
+	// The flap downs exactly its own link, half-open boundary semantics.
+	if f.linkDown(l01, at(99*time.Millisecond)) || !f.linkDown(l01, at(100*time.Millisecond)) {
+		t.Fatal("flap start boundary wrong")
+	}
+	if f.linkDown(l01, at(150*time.Millisecond)) {
+		t.Fatal("flap did not lift at its end")
+	}
+	if f.linkDown(l02, at(120*time.Millisecond)) || f.linkDown(l12, at(120*time.Millisecond)) {
+		t.Fatal("flap leaked onto other links")
+	}
+	// The partition downs every link touching site 2 and nothing else.
+	if !f.linkDown(l02, at(350*time.Millisecond)) || !f.linkDown(l12, at(350*time.Millisecond)) {
+		t.Fatal("partition missed a link touching the site")
+	}
+	if f.linkDown(l01, at(350*time.Millisecond)) {
+		t.Fatal("partition downed an unrelated link")
+	}
+}
+
+func TestBrownoutScalesDelaysAndCompounds(t *testing.T) {
+	b1 := Fault{Kind: Brownout, A: 0, B: 1, Duration: time.Second, Factor: 3}
+	b2 := Fault{Kind: Brownout, A: 0, B: 1, Start: 500 * time.Millisecond, Duration: time.Second, Factor: 2}
+	f := testWANFleet(t, b1, b2)
+	li := f.linkIdx(0, 1)
+	if got := f.linkFactor(li, int64(100*time.Millisecond)); got != 3 {
+		t.Fatalf("single brownout factor %v, want 3", got)
+	}
+	if got := f.linkFactor(li, int64(700*time.Millisecond)); got != 6 {
+		t.Fatalf("overlapping brownouts factor %v, want 6 (compounded)", got)
+	}
+	if got := f.linkFactor(li, int64(2*time.Second)); got != 1 {
+		t.Fatalf("expired brownout factor %v, want 1", got)
+	}
+	// A browned-out op is slower than the same op healthy.
+	hOut, hRet := f.wanDelays(li, 7, int64(2*time.Second), false)
+	bOut, bRet := f.wanDelays(li, 7, int64(100*time.Millisecond), false)
+	if bOut+bRet <= hOut+hRet {
+		t.Fatalf("brownout did not slow the op: %d vs %d", bOut+bRet, hOut+hRet)
+	}
+}
+
+func TestWANDelaysArePureAndBounded(t *testing.T) {
+	f := testWANFleet(t)
+	li := f.linkIdx(1, 2)
+	out1, ret1 := f.wanDelays(li, 12345, 0, false)
+	out2, ret2 := f.wanDelays(li, 12345, 0, false)
+	if out1 != out2 || ret1 != ret2 {
+		t.Fatal("same (link, op) hash produced different delays")
+	}
+	w := f.cfg.WAN
+	ser := int64(float64(f.shardSize) * 8 / w.GbitPerSec)
+	for op := uint64(0); op < 200; op++ {
+		out, ret := f.wanDelays(li, op, 0, false)
+		rtt := out + ret - ser
+		if lo, hi := int64(w.RTT-w.Jitter), int64(w.RTT+w.Jitter); rtt < lo || rtt > hi {
+			t.Fatalf("op %d: rtt %d outside [%d, %d]", op, rtt, lo, hi)
+		}
+		// GETs carry the payload on the return path, PUTs outbound.
+		pOut, pRet := f.wanDelays(li, op, 0, true)
+		if pOut+pRet != out+ret {
+			t.Fatalf("op %d: direction changed total delay", op)
+		}
+		if pOut <= out || pRet >= ret {
+			t.Fatalf("op %d: serialization on the wrong direction", op)
+		}
+	}
+}
+
+func TestLinkBreakerLifecycle(t *testing.T) {
+	f := testWANFleet(t)
+	li := f.linkIdx(0, 1)
+	var res Result
+	ms := int64(time.Millisecond)
+	// Consecutive failures up to the threshold open the breaker once.
+	for i := 0; i < f.cfg.Resilience.BreakerThreshold; i++ {
+		if !f.breakerAllows(li, int64(i)*ms) {
+			t.Fatalf("breaker refused op %d while closed", i)
+		}
+		f.breakerObserve(li, int64(i)*ms, false, &res)
+	}
+	if !f.links[li].open || res.BreakerOpens != 1 {
+		t.Fatalf("breaker open=%v opens=%d after threshold failures", f.links[li].open, res.BreakerOpens)
+	}
+	openedAt := f.links[li].openedAt
+	cool := int64(f.cfg.Resilience.BreakerCooldown)
+	// Before the cooldown: shed. After: a probe passes.
+	if f.breakerAllows(li, openedAt+cool-1) {
+		t.Fatal("op allowed before cooldown elapsed")
+	}
+	if !f.breakerAllows(li, openedAt+cool) {
+		t.Fatal("probe refused after cooldown")
+	}
+	// A failed probe re-arms the cooldown without a second open.
+	f.breakerObserve(li, openedAt+cool+ms, false, &res)
+	if !f.links[li].open || res.BreakerOpens != 1 {
+		t.Fatalf("failed probe: open=%v opens=%d, want re-opened with 1 open", f.links[li].open, res.BreakerOpens)
+	}
+	if f.links[li].openedAt != openedAt+cool+ms {
+		t.Fatal("failed probe did not re-arm the cooldown")
+	}
+	// A successful probe closes it.
+	f.breakerObserve(li, openedAt+2*cool+2*ms, true, &res)
+	if f.links[li].open || res.BreakerCloses != 1 {
+		t.Fatalf("successful probe: open=%v closes=%d", f.links[li].open, res.BreakerCloses)
+	}
+	// Other links were never touched.
+	if f.links[f.linkIdx(0, 2)].open || f.links[f.linkIdx(1, 2)].open {
+		t.Fatal("breaker state leaked onto other links")
+	}
+}
+
+// TestBreakerEngagesDuringServe: a long flap must open the 0↔1 breaker
+// mid-run (drops feed it), fast-fail ops while open, and close it again
+// after the flap lifts — observable in the run's counters.
+func TestBreakerEngagesDuringServe(t *testing.T) {
+	cfg := testFleetConfig(PlacementAttackAware, 0)
+	cfg.WAN.Faults = []Fault{{Kind: LinkFlap, A: 0, B: 1, Start: 100 * time.Millisecond, Duration: 500 * time.Millisecond}}
+	f := buildFleet(t, cfg)
+	res, err := f.Serve(TrafficSpec{Requests: 1200, Rate: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WANDrops == 0 {
+		t.Fatal("flap swallowed no ops")
+	}
+	if res.BreakerOpens == 0 {
+		t.Fatal("drops never opened the breaker")
+	}
+	if res.FastFails == 0 {
+		t.Fatal("open breaker never shed an op")
+	}
+	if res.BreakerCloses == 0 {
+		t.Fatal("breaker never closed after the flap lifted")
+	}
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads: %d", res.CorruptReads)
+	}
+}
+
+func TestLinkSpecOverrides(t *testing.T) {
+	cfg := testFleetConfig(PlacementAttackAware, 0)
+	cfg.WAN.Links = []LinkSpec{{A: 1, B: 0, RTT: 80 * time.Millisecond, GbitPerSec: 1}}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.links[f.linkIdx(0, 1)]
+	if l.rtt != int64(80*time.Millisecond) || l.gbps != 1 {
+		t.Fatalf("override not applied: rtt=%d gbps=%v", l.rtt, l.gbps)
+	}
+	if l.jitter != int64(cfg.WAN.withDefaults().Jitter) {
+		t.Fatal("zero override field did not inherit the default")
+	}
+	if def := f.links[f.linkIdx(0, 2)]; def.rtt != int64(30*time.Millisecond) {
+		t.Fatalf("unrelated link changed: rtt=%d", def.rtt)
+	}
+}

@@ -137,6 +137,64 @@ func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
 	}
 }
 
+func TestCircuitBreakerHalfOpenReOpensUnderSustainedPartition(t *testing.T) {
+	// A partition that outlives many cooldown periods: every half-open
+	// probe must fail straight back to open without ever counting as a
+	// fresh closed→open transition, requests between probes must keep
+	// fast-failing, and only the first probe after the partition heals
+	// may close the circuit.
+	cfg := Config{
+		Resilience: ResilienceConfig{
+			Enabled:          true,
+			MaxRetries:       1,
+			BreakerThreshold: 3,
+			BreakerCooldown:  2 * time.Second,
+		},
+	}
+	partition := faultinj.Fault{Kind: faultinj.TransientError, Duration: 100 * time.Second}
+	s, _, clock := newHardenedServer(t, cfg, partition)
+
+	for i := 0; s.BreakerState() == "closed" && i < 10; i++ {
+		s.Handle(Put, i)
+	}
+	if s.BreakerState() != "open" || s.BreakerOpens != 1 {
+		t.Fatalf("breaker %s after failures (opens=%d)", s.BreakerState(), s.BreakerOpens)
+	}
+
+	for cycle := 0; cycle < 5; cycle++ {
+		clock.Advance(cfg.Resilience.BreakerCooldown + time.Second)
+		if r := s.Handle(Put, 0); errors.Is(r.Err, ErrUnavailable) {
+			t.Fatalf("cycle %d: cooldown elapsed but probe was shed: %v", cycle, r.Err)
+		} else if r.Err == nil {
+			t.Fatalf("cycle %d: probe succeeded mid-partition", cycle)
+		}
+		if s.BreakerState() != "open" {
+			t.Fatalf("cycle %d: failed probe left breaker %s, want open", cycle, s.BreakerState())
+		}
+		// Before the next cooldown elapses, requests are shed unserved.
+		before := s.FastFails
+		if r := s.Handle(Put, 0); !errors.Is(r.Err, ErrUnavailable) {
+			t.Fatalf("cycle %d: freshly re-opened breaker served a request: %v", cycle, r.Err)
+		}
+		if s.FastFails != before+1 {
+			t.Fatalf("cycle %d: fast-fails %d, want %d", cycle, s.FastFails, before+1)
+		}
+	}
+	// Half-open → open re-transitions are not new opens: the outage is
+	// one incident however many probes it swallows.
+	if s.BreakerOpens != 1 || s.BreakerCloses != 0 {
+		t.Fatalf("probe cycles miscounted: opens=%d closes=%d, want 1, 0", s.BreakerOpens, s.BreakerCloses)
+	}
+
+	clock.Advance(200 * time.Second)
+	if r := s.Handle(Put, 0); r.Err != nil {
+		t.Fatalf("probe after partition healed: %v", r.Err)
+	}
+	if s.BreakerState() != "closed" || s.BreakerCloses != 1 {
+		t.Fatalf("breaker %s after recovery (closes=%d)", s.BreakerState(), s.BreakerCloses)
+	}
+}
+
 func TestNetstorePublishMetrics(t *testing.T) {
 	burst := faultinj.Fault{Kind: faultinj.TransientError, Duration: 40 * time.Millisecond}
 	cfg := Config{Resilience: ResilienceConfig{Enabled: true}}

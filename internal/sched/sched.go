@@ -237,3 +237,22 @@ func (c *TransferCache) Gain(source, target int) float64 {
 	}
 	return c.gains[source*c.targets+target]
 }
+
+// Hash64 is the deterministic per-event hash: a splitmix64 finalization
+// of seed ^ (event · odd-constant). Engines that need a random-looking
+// draw per scheduled event (WAN jitter, per-op noise) hash the owning
+// resource's seed with the event's global issue sequence instead of
+// consuming an ordered RNG stream, so the draw depends only on (seed,
+// event) — never on worker interleaving or dispatch order.
+func Hash64(seed, event uint64) uint64 {
+	z := seed ^ (event * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashUnit maps Hash64's draw onto [0, 1) with 53-bit resolution.
+func HashUnit(seed, event uint64) float64 {
+	return float64(Hash64(seed, event)>>11) / (1 << 53)
+}
