@@ -10,9 +10,11 @@ import (
 	"deepnote/internal/attack"
 	"deepnote/internal/cluster"
 	"deepnote/internal/core"
+	"deepnote/internal/detect"
 	"deepnote/internal/experiment"
 	"deepnote/internal/fio"
 	"deepnote/internal/fleet"
+	"deepnote/internal/hdd"
 	"deepnote/internal/metrics"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -56,6 +58,12 @@ type benchSnapshot struct {
 	// once a baseline records it.
 	FleetOpsPerSec      float64 `json:"fleet_ops_per_sec"`
 	FleetOpsPerSecPrior float64 `json:"fleet_ops_per_sec_prior,omitempty"`
+	// ClassifyOpsPerSec is the spectral fingerprinter's window-classification
+	// throughput (Goertzel bank + classifier over pre-rendered telemetry,
+	// benign and hostile mixed) — gated like the others once a baseline
+	// records it.
+	ClassifyOpsPerSec      float64 `json:"classify_ops_per_sec"`
+	ClassifyOpsPerSecPrior float64 `json:"classify_ops_per_sec_prior,omitempty"`
 }
 
 // cmdBench times the key experiments in host seconds and writes the
@@ -67,7 +75,7 @@ type benchSnapshot struct {
 // below the committed baseline.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_pr8.json", "output JSON path")
+	out := fs.String("out", "BENCH_pr9.json", "output JSON path")
 	quick := fs.Bool("quick", false, "shrink workloads (CI mode)")
 	baseline := fs.String("baseline", "", "committed snapshot to gate cluster_ops_per_sec against (empty = no gate)")
 	maxRegress := fs.Float64("maxregress", 0.10, "max fractional ops/sec regression allowed vs -baseline")
@@ -217,6 +225,19 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("fleet engine: %.0f shard-ops/s\n", snap.FleetOpsPerSec)
 
+	classifyWindows := 4000
+	if *quick {
+		classifyWindows = 1000
+	}
+	if err := timeIt("fingerprint_classify", func() error {
+		ops, err := benchFingerprintClassify(classifyWindows)
+		snap.ClassifyOpsPerSec = ops
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("fingerprint classifier: %.0f windows/s\n", snap.ClassifyOpsPerSec)
+
 	bare, instr := snap.Entries[0].Seconds, snap.Entries[1].Seconds
 	if bare > 0 {
 		snap.MetricsOverheadFrac = (instr - bare) / bare
@@ -259,6 +280,17 @@ func cmdBench(args []string) error {
 			} else {
 				fmt.Printf("bench gate: fleet engine %.0f shard-ops/s vs baseline %.0f: ok\n",
 					snap.FleetOpsPerSec, prior.FleetOpsPerSec)
+			}
+		}
+		// And for the fingerprint classifier.
+		snap.ClassifyOpsPerSecPrior = prior.ClassifyOpsPerSec
+		if prior.ClassifyOpsPerSec > 0 {
+			if floor := prior.ClassifyOpsPerSec * (1 - *maxRegress); snap.ClassifyOpsPerSec < floor {
+				gateErr = fmt.Errorf("bench gate: fingerprint classifier %.0f windows/s is below %.0f (baseline %.0f - %.0f%%)",
+					snap.ClassifyOpsPerSec, floor, prior.ClassifyOpsPerSec, *maxRegress*100)
+			} else {
+				fmt.Printf("bench gate: fingerprint classifier %.0f windows/s vs baseline %.0f: ok\n",
+					snap.ClassifyOpsPerSec, prior.ClassifyOpsPerSec)
 			}
 		}
 	}
@@ -397,6 +429,47 @@ func benchFleetEngine(requests int) (float64, error) {
 			return 0, fmt.Errorf("fleet engine bench: no cross-site ops — the WAN path was not exercised")
 		}
 		if ops := float64(res.ShardReads+res.ShardWrites) / time.Since(start).Seconds(); ops > best {
+			best = ops
+		}
+	}
+	return best, nil
+}
+
+// benchFingerprintClassify measures the spectral classifier's window
+// throughput: telemetry windows are pre-rendered (half benign facility-pump
+// ambience, half with the 650 Hz tone mixed in, so both the comb-masking
+// and hostile paths run) and fed through the Goertzel bank + classifier in
+// a tight loop. Best host-time rate of three passes.
+func benchFingerprintClassify(windows int) (float64, error) {
+	fp, err := detect.NewFingerprinter(detect.FingerprintConfig{})
+	if err != nil {
+		return 0, err
+	}
+	synth := detect.NewSynth(fp.SampleRate(), fp.WindowSamples(), detect.DefaultSensorSigma, 1)
+	amb := sig.NewAmbient(sig.AmbientPump, 1)
+	hostile := hdd.Vibration{Freq: 650 * units.Hz, Amplitude: 0.05}
+	const distinct = 64
+	rendered := make([][]float64, distinct)
+	// First half benign, second half hostile — contiguous blocks so the
+	// classifier's persistence run actually confirms detections.
+	for i := range rendered {
+		vib := hdd.Vibration{}
+		if i >= distinct/2 {
+			vib = hostile
+		}
+		rendered[i] = append([]float64(nil), synth.Window(vib, amb)...)
+	}
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for i := 0; i < windows; i++ {
+			fp.Feed(rendered[i%distinct])
+		}
+		elapsed := time.Since(start).Seconds()
+		if fp.HostileWindows() == 0 {
+			return 0, fmt.Errorf("fingerprint bench: hostile path never taken")
+		}
+		if ops := float64(windows) / elapsed; ops > best {
 			best = ops
 		}
 	}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepnote/internal/experiment"
+	"deepnote/internal/units"
+)
+
+// cmdFingerprint runs the spectral-fingerprinting experiment: the benign
+// ambient corpus (ship traffic, rain, snapping shrimp, facility pumps,
+// thermal creak) measures the classifier's false-positive rate, and the
+// hostile tone is injected over every background at controlled SNRs to
+// measure detection latency and confidence. Stdout is byte-identical for
+// any -workers value and with metrics on or off.
+func cmdFingerprint(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ExitOnError)
+	freq := fs.Float64("freq", 650, "hostile tone in Hz")
+	snrs := fs.String("snrs", "0,6,12", "comma-separated hostile SNRs in dB over the telemetry floor")
+	seeds := fs.Int("seeds", 3, "seeded variants of each benign scenario")
+	duration := fs.Float64("duration", 12, "run length per cell in virtual seconds")
+	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU)")
+	o := addObsFlags(fs)
+	fs.Parse(args)
+
+	snrList, err := parseSNRs(*snrs)
+	if err != nil {
+		return err
+	}
+	res, err := experiment.FingerprintRun(experiment.FingerprintSpec{
+		Freq:        units.Frequency(*freq),
+		SNRs:        snrList,
+		BenignSeeds: *seeds,
+		Duration:    time.Duration(*duration * float64(time.Second)),
+		Seed:        *seed,
+		Workers:     *workers,
+		Metrics:     o.registry(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fingerprint: %d benign cells (%d scenarios x %d seeds), %d hostile cells at %.0f Hz\n",
+		len(res.Benign), len(res.Benign) / *seeds, *seeds, len(res.Hostile), *freq)
+	fmt.Print(experiment.FingerprintBenignReport(res).String())
+	fmt.Printf("corpus false-positive rate: %d/%d windows = %.4f (max benign confidence %.2f)\n",
+		res.FalsePositives, res.BenignWindows, res.FPRate, res.BenignMaxConfidence)
+	fmt.Println()
+	fmt.Print(experiment.FingerprintDetectionReport(res).String())
+	fmt.Printf("defense gate at min confidence 0.5: benign verdict armed=%v, hostile verdict armed=%v\n",
+		res.GateBenignArmed, res.GateHostileArmed)
+	return o.finish("fingerprint", args, *seed, *workers)
+}
+
+func parseSNRs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -snrs entry %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-snrs must list at least one value")
+	}
+	return out, nil
+}

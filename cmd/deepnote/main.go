@@ -12,6 +12,7 @@
 //	deepnote fleet  [-sites N] [-containers N] [-data K] [-parity M] [-blast N] [-workers N]
 //	deepnote cluster [-containers N] [-data K] [-parity M] [-speakers N] [-defense] [-workers N]
 //	deepnote sonar  [-hydrophones N] [-standoff M] [-speakers N] [-workers N]
+//	deepnote fingerprint [-freq HZ] [-snrs DB,DB,...] [-seeds N] [-workers N]
 //	deepnote range  [-scenario 1|2|3] [-freq HZ]
 //	deepnote crash  [-target ext4|ubuntu|rocksdb]
 //	deepnote defense [-scenario 1|2|3] [-distance CM]
@@ -107,6 +108,8 @@ func main() {
 		err = cmdCluster(args)
 	case "sonar":
 		err = cmdSonar(args)
+	case "fingerprint":
+		err = cmdFingerprint(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
 	case "integrity":
@@ -157,6 +160,7 @@ commands:
   fleet     geo-distributed fleet under facility attack: attack-aware vs naive placement
   cluster   erasure-coded datacenter serving traffic under a speaker ladder
   sonar     closed-loop defense: hydrophone localization steering the store
+  fingerprint  spectral attack fingerprinting vs the benign ambient corpus
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
   selfcheck differential check: analytic oracle vs Monte-Carlo simulation

@@ -97,7 +97,10 @@ func (s Stealth) Run() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mon := detect.NewMonitor(rig.Disk, rig.Clock, s.Detector)
+	mon, err := detect.NewMonitor(rig.Disk, rig.Clock, s.Detector)
+	if err != nil {
+		return Result{}, err
+	}
 	meter := trace.NewMeter(rig.Clock, time.Second)
 	origin := rig.Clock.Now()
 	buf := make([]byte, 4096)
@@ -137,7 +140,7 @@ func (s Stealth) Run() (Result, error) {
 		onDeadline := rig.Clock.Now().Add(s.Duty.On)
 		for rig.Clock.Now().Before(onDeadline) {
 			writeOnce()
-			if sus := mon.Detector().Suspicion(); sus > maxSuspicion {
+			if sus := mon.Suspicion(); sus > maxSuspicion {
 				maxSuspicion = sus
 			}
 		}
@@ -146,7 +149,7 @@ func (s Stealth) Run() (Result, error) {
 			offDeadline := rig.Clock.Now().Add(s.Duty.Off)
 			for rig.Clock.Now().Before(offDeadline) {
 				writeOnce()
-				if sus := mon.Detector().Suspicion(); sus > maxSuspicion {
+				if sus := mon.Suspicion(); sus > maxSuspicion {
 					maxSuspicion = sus
 				}
 			}

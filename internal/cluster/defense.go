@@ -27,6 +27,11 @@ type SourceFix struct {
 	Err units.Distance
 	// Tone is the emitted tone the fix was made on.
 	Tone sig.Tone
+	// Confidence is the detection layer's belief that the fix describes
+	// a genuinely hostile source, in [0, 1] — typically the fused
+	// fingerprint verdict's confidence. Zero means "unscored" and passes
+	// any gate only when MinConfidence is unset or zero.
+	Confidence float64
 }
 
 // DefenseSpec configures the closed-loop acoustic defense: localization
@@ -47,6 +52,12 @@ type DefenseSpec struct {
 	// re-placement writes. Nil means the default 50 ms; Ptr(0) is an
 	// idealized instant controller and is honored.
 	React *time.Duration
+	// MinConfidence gates escalation on the detection layer's verdict:
+	// fixes whose Confidence falls below it are dropped before the plan
+	// compiles, so a benign-noise misfire cannot trigger evacuations.
+	// Nil means 0 (every fix escalates — the pre-fingerprint behavior);
+	// must be in [0, 1].
+	MinConfidence *float64
 }
 
 func (s DefenseSpec) withDefaults() DefenseSpec {
@@ -55,6 +66,9 @@ func (s DefenseSpec) withDefaults() DefenseSpec {
 	}
 	if s.React == nil {
 		s.React = Ptr(50 * time.Millisecond)
+	}
+	if s.MinConfidence == nil {
+		s.MinConfidence = Ptr(0.0)
 	}
 	return s
 }
@@ -162,7 +176,20 @@ func (c *Cluster) SetDefense(spec DefenseSpec) error {
 		return nil
 	}
 	spec = spec.withDefaults()
-	fixes := append([]SourceFix(nil), spec.Fixes...)
+	if mc := *spec.MinConfidence; mc < 0 || mc > 1 {
+		return fmt.Errorf("cluster: MinConfidence %g must be in [0, 1]", mc)
+	}
+	fixes := make([]SourceFix, 0, len(spec.Fixes))
+	for _, fx := range spec.Fixes {
+		if fx.Confidence >= *spec.MinConfidence {
+			fixes = append(fixes, fx)
+		}
+	}
+	if len(fixes) == 0 {
+		// Every fix fell below the confidence gate: nothing escalates.
+		c.defense = nil
+		return nil
+	}
 	sort.SliceStable(fixes, func(i, j int) bool { return fixes[i].At < fixes[j].At })
 	spec.Fixes = fixes
 
@@ -285,6 +312,15 @@ func (c *Cluster) SetDefense(spec DefenseSpec) error {
 
 // Defended reports whether a defense plan is active.
 func (c *Cluster) Defended() bool { return c.defense != nil }
+
+// DefenseFixes returns the fixes the active plan compiled from — after
+// the confidence gate, sorted by arrival. Nil when defense is off.
+func (c *Cluster) DefenseFixes() []SourceFix {
+	if c.defense == nil {
+		return nil
+	}
+	return c.defense.spec.Fixes
+}
 
 // DefenseEvacsPlanned returns how many re-placement writes the plan
 // schedules (and how many shards had no safe target).

@@ -331,3 +331,60 @@ func TestDefenseEvacTargetsAvoidBlastRadius(t *testing.T) {
 		}
 	}
 }
+
+// TestDefenseConfidenceGate: fixes below MinConfidence must not escalate
+// the defense — a benign-noise misfire from the detection layer cannot
+// trigger evacuations — while high-confidence fixes still compile into a
+// plan. This is the fingerprint-verdict gate on SetDefense.
+func TestDefenseConfidenceGate(t *testing.T) {
+	tone := sig.NewTone(650 * units.Hz)
+	lay := LineLayout(6, 2*units.Meter).WithSpeakersAt(tone, 0)
+	c, err := New(Config{
+		Layout:     lay,
+		DataShards: 4, ParityShards: 2,
+		Objects: 24, ObjectSize: 16 << 10,
+		Seed: Ptr(int64(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	low := SourceFix{At: 100 * time.Millisecond, Pos: lay.Speakers[0].Pos,
+		Err: 20 * units.Centimeter, Tone: tone, Confidence: 0.2}
+	high := low
+	high.At, high.Confidence = 200*time.Millisecond, 0.9
+
+	// All fixes below the gate: the defense never arms.
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{low}, MinConfidence: Ptr(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Defended() || c.DefenseFixes() != nil {
+		t.Fatal("low-confidence fix escalated the defense")
+	}
+	// Mixed: only the high-confidence fix survives the gate.
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{low, high}, MinConfidence: Ptr(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Defended() {
+		t.Fatal("high-confidence fix did not arm the defense")
+	}
+	if got := c.DefenseFixes(); len(got) != 1 || got[0].Confidence != 0.9 {
+		t.Fatalf("DefenseFixes() = %+v, want only the 0.9-confidence fix", got)
+	}
+	// Nil gate keeps the pre-fingerprint behavior: unscored fixes pass.
+	if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{{At: time.Second, Pos: lay.Speakers[0].Pos,
+		Err: 20 * units.Centimeter, Tone: tone}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Defended() || len(c.DefenseFixes()) != 1 {
+		t.Fatal("unscored fix rejected with no gate configured")
+	}
+	// Out-of-range gates are rejected, not clamped.
+	for _, mc := range []float64{-0.1, 1.5} {
+		if err := c.SetDefense(DefenseSpec{Fixes: []SourceFix{high}, MinConfidence: Ptr(mc)}); err == nil {
+			t.Fatalf("MinConfidence %g accepted", mc)
+		}
+	}
+}

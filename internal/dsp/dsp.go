@@ -1,0 +1,226 @@
+// Package dsp is the spectral estimation toolkit behind the operator-side
+// attack fingerprinting: sliding Goertzel banks that watch a fixed set of
+// frequencies in the drive-tray vibration telemetry, plus a windowed-DFT
+// reference path used as a fallback and as the differential oracle in
+// tests. Everything here is deterministic — the same sample stream always
+// produces the same frames — and the bank's steady state is allocation
+// free, so it can ride inside the simulation hot loop.
+//
+// The Goertzel recurrence evaluates one DFT bin with two multiplies per
+// sample, which is the right trade when the interesting spectrum is a
+// handful of known bands (the servo-resonance window of §4.1) rather than
+// the full FFT range.
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"deepnote/internal/units"
+)
+
+// Goertzel evaluates signal power at a single frequency over blocks of
+// samples. The frequency does not need to lie on an integer DFT bin.
+type Goertzel struct {
+	coeff float64 // 2·cos(ω)
+	s1    float64
+	s2    float64
+	n     int
+}
+
+// NewGoertzel returns a detector for freq at the given sample rate.
+func NewGoertzel(freq units.Frequency, sampleRateHz float64) Goertzel {
+	w := freq.AngularVelocity() / sampleRateHz
+	return Goertzel{coeff: 2 * math.Cos(w)}
+}
+
+// Push feeds one sample into the recurrence.
+func (g *Goertzel) Push(x float64) {
+	s0 := g.coeff*g.s1 - g.s2 + x
+	g.s2 = g.s1
+	g.s1 = s0
+	g.n++
+}
+
+// Power returns |X(f)|² for the samples pushed since the last Reset.
+func (g *Goertzel) Power() float64 {
+	return g.s1*g.s1 + g.s2*g.s2 - g.coeff*g.s1*g.s2
+}
+
+// N returns how many samples the current block holds.
+func (g *Goertzel) N() int { return g.n }
+
+// Reset clears the block state.
+func (g *Goertzel) Reset() { g.s1, g.s2, g.n = 0, 0, 0 }
+
+// Frame is one completed analysis window. Power aliases the bank's
+// internal storage and is valid until the next frame completes; callers
+// that need to keep it must copy.
+type Frame struct {
+	// Index is the 0-based window index since the bank was created.
+	Index int
+	// Power holds per-bin |X(f)|² of the Hann-windowed block, in the
+	// order of the bank's frequency list.
+	Power []float64
+	// TotalMS is the mean square of the raw (unwindowed) block — the
+	// total signal power the tonal bins are judged against.
+	TotalMS float64
+}
+
+// Bank runs a set of Goertzel bins over a common Hann-windowed block. It
+// is the streaming front half of the attack fingerprinter: Push samples
+// in, get a Frame back every windowLen samples. After construction the
+// bank never allocates.
+type Bank struct {
+	sampleRate float64
+	freqs      []units.Frequency
+	coeff      []float64
+	hann       []float64
+	s1, s2     []float64
+	sumSq      float64
+	n          int
+	frames     int
+	power      []float64 // reused Frame.Power storage
+}
+
+// NewBank builds a bank of Goertzel bins at the given frequencies, all
+// sharing one Hann window of windowLen samples.
+func NewBank(sampleRateHz float64, windowLen int, freqs []units.Frequency) (*Bank, error) {
+	if sampleRateHz <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate %v must be > 0", sampleRateHz)
+	}
+	if windowLen < 16 {
+		return nil, fmt.Errorf("dsp: window of %d samples is too short (min 16)", windowLen)
+	}
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("dsp: bank needs at least one frequency")
+	}
+	b := &Bank{
+		sampleRate: sampleRateHz,
+		freqs:      append([]units.Frequency(nil), freqs...),
+		coeff:      make([]float64, len(freqs)),
+		hann:       make([]float64, windowLen),
+		s1:         make([]float64, len(freqs)),
+		s2:         make([]float64, len(freqs)),
+		power:      make([]float64, len(freqs)),
+	}
+	for i, f := range freqs {
+		if f <= 0 || f.Hertz() >= sampleRateHz/2 {
+			return nil, fmt.Errorf("dsp: frequency %v outside (0, Nyquist %v Hz)", f, sampleRateHz/2)
+		}
+		b.coeff[i] = 2 * math.Cos(f.AngularVelocity()/sampleRateHz)
+	}
+	for i := range b.hann {
+		b.hann[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(windowLen)))
+	}
+	return b, nil
+}
+
+// Freqs returns the bank's bin frequencies (shared storage; do not mutate).
+func (b *Bank) Freqs() []units.Frequency { return b.freqs }
+
+// WindowLen returns the analysis window length in samples.
+func (b *Bank) WindowLen() int { return len(b.hann) }
+
+// SampleRate returns the bank's sample rate in Hz.
+func (b *Bank) SampleRate() float64 { return b.sampleRate }
+
+// Push feeds one sample. When the sample completes a window, the frame
+// for that window is returned with ok = true.
+func (b *Bank) Push(x float64) (Frame, bool) {
+	b.sumSq += x * x
+	xw := x * b.hann[b.n]
+	for i := range b.coeff {
+		s0 := b.coeff[i]*b.s1[i] - b.s2[i] + xw
+		b.s2[i] = b.s1[i]
+		b.s1[i] = s0
+	}
+	b.n++
+	if b.n < len(b.hann) {
+		return Frame{}, false
+	}
+	for i := range b.coeff {
+		b.power[i] = b.s1[i]*b.s1[i] + b.s2[i]*b.s2[i] - b.coeff[i]*b.s1[i]*b.s2[i]
+		b.s1[i], b.s2[i] = 0, 0
+	}
+	f := Frame{
+		Index:   b.frames,
+		Power:   b.power,
+		TotalMS: b.sumSq / float64(len(b.hann)),
+	}
+	b.frames++
+	b.n = 0
+	b.sumSq = 0
+	return f, true
+}
+
+// Frames returns how many windows have completed.
+func (b *Bank) Frames() int { return b.frames }
+
+// Reset discards the partial block in progress (completed-frame count is
+// retained so Frame indices stay monotonic).
+func (b *Bank) Reset() {
+	for i := range b.s1 {
+		b.s1[i], b.s2[i] = 0, 0
+	}
+	b.n = 0
+	b.sumSq = 0
+}
+
+// Amp converts a bin power from a Hann-windowed block of n samples into
+// the amplitude estimate of a sinusoid at that bin's frequency (the Hann
+// coherent gain is 1/2, so a tone of amplitude A yields |X| = A·n/4).
+func Amp(power float64, n int) float64 {
+	if power <= 0 {
+		return 0
+	}
+	return 4 * math.Sqrt(power) / float64(n)
+}
+
+// DFTAt computes Hann-windowed DFT power at arbitrary frequencies — the
+// reference implementation the Goertzel bank is differentially tested
+// against, and the fallback for one-shot analysis of a captured buffer.
+// out is reused when it has capacity.
+func DFTAt(samples []float64, sampleRateHz float64, freqs []units.Frequency, out []float64) []float64 {
+	if cap(out) >= len(freqs) {
+		out = out[:len(freqs)]
+	} else {
+		out = make([]float64, len(freqs))
+	}
+	n := len(samples)
+	for k, f := range freqs {
+		w := f.AngularVelocity() / sampleRateHz
+		var re, im float64
+		for i, x := range samples {
+			h := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+			xw := x * h
+			re += xw * math.Cos(w*float64(i))
+			im -= xw * math.Sin(w*float64(i))
+		}
+		out[k] = re*re + im*im
+	}
+	return out
+}
+
+// PeakSearch scans [lo, hi] in steps of step and returns the frequency
+// with the highest Hann-windowed DFT power, plus the amplitude estimate
+// at that frequency.
+func PeakSearch(samples []float64, sampleRateHz float64, lo, hi, step units.Frequency) (units.Frequency, float64) {
+	if step <= 0 || hi < lo || len(samples) == 0 {
+		return 0, 0
+	}
+	var (
+		bestF units.Frequency
+		bestP float64
+	)
+	buf := make([]float64, 1)
+	one := make([]units.Frequency, 1)
+	for f := lo; f <= hi; f += step {
+		one[0] = f
+		buf = DFTAt(samples, sampleRateHz, one, buf)
+		if buf[0] > bestP {
+			bestP, bestF = buf[0], f
+		}
+	}
+	return bestF, Amp(bestP, len(samples))
+}

@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepnote/internal/units"
+)
+
+const rate = 4096.0
+
+func bankFreqs() []units.Frequency {
+	var fs []units.Frequency
+	for f := 30 * units.Hz; f <= 1400*units.Hz; f += 10 * units.Hz {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// The streaming Goertzel bank must agree with the direct windowed DFT on
+// arbitrary signals — same window, same bins, same powers.
+func TestBankMatchesDFT(t *testing.T) {
+	freqs := bankFreqs()
+	b, err := NewBank(rate, 512, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 512)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() + 0.1*math.Sin(2*math.Pi*650*float64(i)/rate)
+	}
+	var frame Frame
+	ok := false
+	for _, x := range samples {
+		frame, ok = b.Push(x)
+	}
+	if !ok {
+		t.Fatal("window did not complete")
+	}
+	ref := DFTAt(samples, rate, freqs, nil)
+	for i := range freqs {
+		if diff := math.Abs(frame.Power[i] - ref[i]); diff > 1e-6*(1+ref[i]) {
+			t.Fatalf("bin %v: goertzel %.9g vs dft %.9g", freqs[i], frame.Power[i], ref[i])
+		}
+	}
+}
+
+// A pure tone on a bin frequency must read back with its amplitude, and a
+// tone halfway between bins must lose no more than the Hann scallop.
+func TestBankToneAmplitude(t *testing.T) {
+	freqs := bankFreqs()
+	b, err := NewBank(rate, 512, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const amp = 0.05
+	feed := func(f units.Frequency) Frame {
+		b.Reset()
+		var frame Frame
+		for i := 0; i < 512; i++ {
+			frame, _ = b.Push(amp * math.Sin(f.AngularVelocity()*float64(i)/rate))
+		}
+		return frame
+	}
+	onBin := feed(650 * units.Hz)
+	peak, bestAmp := 0, 0.0
+	for i, p := range onBin.Power {
+		if a := Amp(p, 512); a > bestAmp {
+			bestAmp, peak = a, i
+		}
+	}
+	if freqs[peak] != 650*units.Hz {
+		t.Fatalf("peak at %v, want 650 Hz", freqs[peak])
+	}
+	if bestAmp < 0.95*amp || bestAmp > 1.05*amp {
+		t.Fatalf("on-bin amplitude estimate %.4f, want ≈ %.4f", bestAmp, amp)
+	}
+	offBin := feed(655 * units.Hz) // worst case for the 10 Hz grid
+	bestAmp = 0
+	for _, p := range offBin.Power {
+		if a := Amp(p, 512); a > bestAmp {
+			bestAmp = a
+		}
+	}
+	// Worst-case Hann scallop for a 10 Hz grid over 8 Hz bins is ≈ −2.3 dB.
+	if bestAmp < 0.75*amp {
+		t.Fatalf("off-bin scallop loss too high: estimate %.4f of %.4f", bestAmp, amp)
+	}
+	if onBin.TotalMS < 0.9*amp*amp/2 || onBin.TotalMS > 1.1*amp*amp/2 {
+		t.Fatalf("TotalMS = %g, want ≈ %g", onBin.TotalMS, amp*amp/2)
+	}
+}
+
+// The bank's steady state must not allocate: it runs inside the serving
+// simulation's telemetry loop.
+func TestBankSteadyStateAllocFree(t *testing.T) {
+	b, err := NewBank(rate, 256, bankFreqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 256; j++ {
+			i++
+			b.Push(math.Sin(0.3 * float64(i)))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bank steady state allocates %.1f/window, want 0", allocs)
+	}
+}
+
+func TestBankRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		rate   float64
+		window int
+		freqs  []units.Frequency
+	}{
+		{0, 512, []units.Frequency{650}},
+		{rate, 8, []units.Frequency{650}},
+		{rate, 512, nil},
+		{rate, 512, []units.Frequency{0}},
+		{rate, 512, []units.Frequency{3000}}, // ≥ Nyquist
+	}
+	for i, c := range cases {
+		if _, err := NewBank(c.rate, c.window, c.freqs); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestPeakSearchFindsTone(t *testing.T) {
+	samples := make([]float64, 1024)
+	for i := range samples {
+		samples[i] = 0.2 * math.Sin(2*math.Pi*647*float64(i)/rate)
+	}
+	f, amp := PeakSearch(samples, rate, 300*units.Hz, 1400*units.Hz, 2*units.Hz)
+	if math.Abs(f.Hertz()-647) > 2 {
+		t.Fatalf("peak at %v, want ≈ 647 Hz", f)
+	}
+	if amp < 0.18 || amp > 0.22 {
+		t.Fatalf("peak amplitude %.3f, want ≈ 0.2", amp)
+	}
+}
+
+// Goertzel single-bin detector agrees with its own bank on a block.
+func TestGoertzelSingleBin(t *testing.T) {
+	g := NewGoertzel(650*units.Hz, rate)
+	var sum float64
+	for i := 0; i < 512; i++ {
+		x := 0.1 * math.Sin(2*math.Pi*650*float64(i)/rate)
+		g.Push(x)
+		sum += x * x
+	}
+	if g.N() != 512 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Rectangular window: |X| = A·N/2.
+	if a := 2 * math.Sqrt(g.Power()) / 512; a < 0.095 || a > 0.105 {
+		t.Fatalf("amplitude %.4f, want ≈ 0.1", a)
+	}
+	g.Reset()
+	if g.Power() != 0 || g.N() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"deepnote/internal/blockdev"
 	"deepnote/internal/core"
+	"deepnote/internal/detect"
 	"deepnote/internal/faultinj"
 	"deepnote/internal/jfs"
 	"deepnote/internal/kvdb"
@@ -40,6 +41,9 @@ type Resilience struct {
 	Cooldown time.Duration
 	// SampleInterval is the availability sampling period (default 250 ms).
 	SampleInterval time.Duration
+	// Ambient is the benign soundscape the victim's tray sensor hears
+	// throughout the episode (zero value = none).
+	Ambient sig.Ambient
 	// CrashThreshold overrides the OS crash threshold (default 80 s);
 	// tests shrink it to keep virtual time short.
 	CrashThreshold time.Duration
@@ -101,6 +105,12 @@ type ResilienceRow struct {
 	// BurstMasked reports whether the pre-attack injected fault burst was
 	// fully absorbed (no page-in errors before the tone started).
 	BurstMasked bool
+	// Detected reports the spectral fingerprinter identified the attack
+	// tone; DetectLatency is key-on to the first hostile verdict. Every
+	// rung carries the same detection stack, so the ladder shows how far
+	// ahead of the crash horizon the operator hears the attack.
+	Detected      bool
+	DetectLatency time.Duration
 }
 
 // resilienceConfig is one rung of the hardening ladder.
@@ -149,7 +159,9 @@ func (r Resilience) runResilienceConfig(cfg resilienceConfig, seed int64) (Resil
 	}
 	clock := rig.Clock
 
-	// Device stack: acoustic drive → fault injector → (optional) retrier.
+	// Device stack: acoustic drive → fault injector → (optional) retrier
+	// → latency/error monitor outermost, so the detector sees exactly the
+	// I/O behavior the OS sees.
 	inj := faultinj.Wrap(rig.Disk, clock, seed, r.preBurst())
 	var dev blockdev.Device = inj
 	var retrier *blockdev.Retrier
@@ -157,6 +169,24 @@ func (r Resilience) runResilienceConfig(cfg resilienceConfig, seed int64) (Resil
 		retrier = blockdev.NewRetrier(inj, clock, resilienceRetryPolicy())
 		dev = retrier
 	}
+	mon, err := detect.NewMonitor(dev, clock, detect.Config{})
+	if err != nil {
+		return row, err
+	}
+	dev = mon
+
+	// The spectral side: tray telemetry synthesized and classified in
+	// lockstep with the sampling loop.
+	fp, err := detect.NewFingerprinter(detect.FingerprintConfig{})
+	if err != nil {
+		return row, err
+	}
+	origin := clock.Now()
+	fp.SetOrigin(origin)
+	synth := detect.NewSynth(fp.SampleRate(), fp.WindowSamples(),
+		detect.DefaultSensorSigma, parallel.SeedFor(seed, 1))
+	winDur := fp.WindowDuration()
+	maxSuspicion := 0.0
 
 	if err := jfs.Mkfs(dev, jfs.MkfsOptions{Blocks: 1 << 17}); err != nil {
 		return row, err
@@ -220,6 +250,13 @@ func (r Resilience) runResilienceConfig(cfg resilienceConfig, seed int64) (Resil
 			if wd != nil {
 				wd.Step()
 			}
+			// Classify every telemetry window the step crossed.
+			for !origin.Add(time.Duration(synth.Windows()+1) * winDur).After(clock.Now()) {
+				fp.Feed(synth.Window(rig.Drive.Vibration(), r.Ambient))
+			}
+			if sus := mon.Suspicion(); sus > maxSuspicion {
+				maxSuspicion = sus
+			}
 			total++
 			crashed, _ := current().Crashed()
 			if !crashed {
@@ -259,8 +296,15 @@ func (r Resilience) runResilienceConfig(cfg resilienceConfig, seed int64) (Resil
 	if total > 0 {
 		row.AvailabilityPct = 100 * float64(up) / float64(total)
 	}
+	for _, det := range fp.Detections() {
+		if !det.At.Before(attackStart) {
+			row.Detected = true
+			row.DetectLatency = det.At.Sub(attackStart)
+			break
+		}
+	}
 
-	r.publishConfig(cfg, rig, inj, retrier, fs, srv, wd, db, row)
+	r.publishConfig(cfg, rig, inj, retrier, fs, srv, wd, db, row, maxSuspicion)
 	return row, nil
 }
 
@@ -269,7 +313,8 @@ func (r Resilience) runResilienceConfig(cfg resilienceConfig, seed int64) (Resil
 // tasks publish directly and the snapshot is identical at any worker
 // count.
 func (r Resilience) publishConfig(cfg resilienceConfig, rig *core.Rig, inj *faultinj.Device,
-	retrier *blockdev.Retrier, fs *jfs.FS, srv *osmodel.Server, wd *osmodel.Watchdog, db *kvdb.DB, row ResilienceRow) {
+	retrier *blockdev.Retrier, fs *jfs.FS, srv *osmodel.Server, wd *osmodel.Watchdog, db *kvdb.DB,
+	row ResilienceRow, maxSuspicion float64) {
 	reg := r.Metrics
 	if reg == nil {
 		return
@@ -307,6 +352,11 @@ func (r Resilience) publishConfig(cfg resilienceConfig, rig *core.Rig, inj *faul
 	if row.MTTR > 0 {
 		reg.MaxGauge(prefix+".mttr_s", row.MTTR.Seconds())
 	}
+	if row.Detected {
+		reg.Add(prefix+".detections", 1)
+		reg.MaxGauge(prefix+".detect_latency_s", row.DetectLatency.Seconds())
+	}
+	reg.MaxGauge(prefix+".max_suspicion", maxSuspicion)
 }
 
 // Run executes the hardening ladder, fanning the independent stack
@@ -323,21 +373,25 @@ func (r Resilience) Run() ([]ResilienceRow, error) {
 func ResilienceReport(rows []ResilienceRow) *report.Table {
 	tb := report.NewTable(
 		"Prolonged attack vs hardening ladder (650 Hz, full power)",
-		"Config", "Crashed", "TTC s", "Recovered", "Reboots", "MTTR s", "Avail %", "Burst masked")
+		"Config", "Crashed", "TTC s", "Recovered", "Reboots", "MTTR s", "Avail %", "Burst masked", "Detect s")
 	for _, r := range rows {
-		ttc, mttr := "-", "-"
+		ttc, mttr, det := "-", "-", "-"
 		if r.Crashed {
 			ttc = fmt.Sprintf("%.1f", r.TimeToCrash.Seconds())
 		}
 		if r.MTTR > 0 {
 			mttr = fmt.Sprintf("%.1f", r.MTTR.Seconds())
 		}
+		if r.Detected {
+			det = fmt.Sprintf("%.2f", r.DetectLatency.Seconds())
+		}
 		tb.AddRow(r.Config,
 			fmt.Sprintf("%v", r.Crashed), ttc,
 			fmt.Sprintf("%v", r.Recovered),
 			fmt.Sprintf("%d", r.Reboots), mttr,
 			fmt.Sprintf("%.1f", r.AvailabilityPct),
-			fmt.Sprintf("%v", r.BurstMasked))
+			fmt.Sprintf("%v", r.BurstMasked),
+			det)
 	}
 	return tb
 }

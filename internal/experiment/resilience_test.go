@@ -61,6 +61,18 @@ func TestResilienceLadderOutcomes(t *testing.T) {
 		t.Fatalf("hardening must buy availability: hardened %.1f%% vs bare %.1f%%",
 			hard.AvailabilityPct, bare.AvailabilityPct)
 	}
+
+	// Every rung carries the fingerprinting stack, and the full-power tone
+	// must be spectrally identified long before the crash threshold.
+	for _, r := range rows {
+		if !r.Detected {
+			t.Fatalf("%s: attack tone never fingerprinted", r.Config)
+		}
+		if r.DetectLatency >= bare.TimeToCrash {
+			t.Fatalf("%s: detection (%v) slower than the bare crash (%v)",
+				r.Config, r.DetectLatency, bare.TimeToCrash)
+		}
+	}
 }
 
 func TestResilienceDeterministicAcrossWorkers(t *testing.T) {

@@ -1,0 +1,146 @@
+package sig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAmbientCorpusHasFiveScenarios(t *testing.T) {
+	kinds := AmbientKinds()
+	if len(kinds) != 5 {
+		t.Fatalf("corpus has %d scenarios, want 5", len(kinds))
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if k == AmbientNone {
+			t.Fatal("corpus must not include silence")
+		}
+		if seen[k.String()] {
+			t.Fatalf("duplicate scenario name %q", k)
+		}
+		seen[k.String()] = true
+	}
+}
+
+func TestAmbientRenderDeterministic(t *testing.T) {
+	for _, k := range AmbientKinds() {
+		a := NewAmbient(k, 7)
+		w1 := make([]float64, 512)
+		w2 := make([]float64, 512)
+		a.RenderInto(3, 4096, w1)
+		a.RenderInto(3, 4096, w2)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("%v: window 3 not reproducible at sample %d", k, i)
+			}
+		}
+		// A different seed must produce a different realization.
+		w3 := make([]float64, 512)
+		NewAmbient(k, 8).RenderInto(3, 4096, w3)
+		same := true
+		for i := range w1 {
+			if w1[i] != w3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: seeds 7 and 8 rendered identically", k)
+		}
+	}
+}
+
+func TestAmbientRenderAddsEnergy(t *testing.T) {
+	for _, k := range AmbientKinds() {
+		a := NewAmbient(k, 1)
+		var ms float64
+		buf := make([]float64, 512)
+		for w := 0; w < 32; w++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			a.RenderInto(w, 4096, buf)
+			for _, x := range buf {
+				ms += x * x
+			}
+		}
+		rms := math.Sqrt(ms / float64(32*512))
+		if rms <= 0 {
+			t.Fatalf("%v rendered silence", k)
+		}
+		// Benign sources stay far below the servo-lock amplitude (0.45):
+		// they are confusable with a stealthy tone, not with the attack.
+		if rms > 0.1 {
+			t.Fatalf("%v RMS = %.4f, implausibly loud for a benign source", k, rms)
+		}
+	}
+}
+
+func TestAmbientLevelPointerSemantics(t *testing.T) {
+	a := NewAmbient(AmbientRain, 1)
+	if a.BroadbandSigma(0) <= 0 {
+		t.Fatal("nil Level must mean nominal, not silent")
+	}
+	zero := 0.0
+	a.Level = &zero
+	if a.BroadbandSigma(0) != 0 {
+		t.Fatal("explicit Level 0 must be honored as silence")
+	}
+	buf := make([]float64, 64)
+	a.RenderInto(0, 4096, buf)
+	for _, x := range buf {
+		if x != 0 {
+			t.Fatal("explicit Level 0 must render nothing")
+		}
+	}
+	double := 2.0
+	a.Level = &double
+	if got, want := a.NominalSigma(), 2*NewAmbient(AmbientRain, 1).NominalSigma(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Level scaling: σ = %g, want %g", got, want)
+	}
+}
+
+func TestAmbientStructure(t *testing.T) {
+	// The pump's comb: five harmonics of 120 Hz, three inside the
+	// vulnerable band, each loud enough to trip a naive amplitude gate.
+	pump := NewAmbient(AmbientPump, 3)
+	comps := pump.Components(0, nil)
+	if len(comps) != 5 {
+		t.Fatalf("pump lines = %d, want 5", len(comps))
+	}
+	inBand := 0
+	for i, c := range comps {
+		if c.Freq.Hertz() != float64(120*(i+1)) {
+			t.Fatalf("pump harmonic %d at %v, want %v Hz", i, c.Freq, 120*(i+1))
+		}
+		if c.Freq >= 300 && c.Freq <= 1400 {
+			inBand++
+			if c.Amp < 0.02 {
+				t.Fatalf("in-band pump harmonic at %v too quiet (%.4f) to stress the classifier", c.Freq, c.Amp)
+			}
+		}
+	}
+	if inBand < 3 {
+		t.Fatalf("pump puts %d harmonics in the vulnerable band, want ≥ 3", inBand)
+	}
+	// Rain and shrimp are pure broadband.
+	for _, k := range []AmbientKind{AmbientRain, AmbientShrimp, AmbientCreak} {
+		if got := NewAmbient(k, 3).Components(0, nil); len(got) != 0 {
+			t.Fatalf("%v must have no narrowband lines, got %d", k, len(got))
+		}
+	}
+	// Shrimp bursts: across many windows both loud and quiet ones occur.
+	shrimp := NewAmbient(AmbientShrimp, 3)
+	base := shrimp.NominalSigma()
+	bursts, calm := 0, 0
+	for w := 0; w < 64; w++ {
+		if s := shrimp.BroadbandSigma(w); s > 2*base {
+			bursts++
+		} else {
+			calm++
+		}
+	}
+	if bursts == 0 || calm == 0 {
+		t.Fatalf("shrimp bursts/calm = %d/%d, want a mix", bursts, calm)
+	}
+}

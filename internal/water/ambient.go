@@ -1,0 +1,64 @@
+// Ambient ocean noise after Wenz (1962), in the compact form of Coates'
+// approximations: four independent processes — oceanic turbulence,
+// distant shipping, wind/sea-surface agitation (which also stands in for
+// rain, acoustically a very high effective sea state), and thermal noise —
+// summed as powers. This grounds the benign ambient-source corpus the
+// attack fingerprinter must not confuse with a hostile tone: the spectral
+// *level* of ship traffic or rain at the datacenter hull comes from here,
+// while the *structure* (blade-rate combs, shrimp impulses) is synthesized
+// in internal/sig.
+package water
+
+import (
+	"math"
+
+	"deepnote/internal/units"
+)
+
+// AmbientNoiseLevel returns the deep-water ambient noise spectral level
+// in dB re 1 µPa²/Hz at frequency f. shipping is the Wenz shipping-density
+// factor in [0, 1] (0 = remote, 1 = heavy traffic lanes); windMS is the
+// surface wind speed in m/s. Inputs are clamped to their physical domains.
+func AmbientNoiseLevel(f units.Frequency, shipping, windMS float64) float64 {
+	fk := f.Hertz() / 1000 // the classic fits use kHz
+	if fk < 1e-3 {
+		fk = 1e-3
+	}
+	shipping = math.Min(1, math.Max(0, shipping))
+	windMS = math.Max(0, windMS)
+
+	turbulence := 17 - 30*math.Log10(fk)
+	ship := 40 + 20*(shipping-0.5) + 26*math.Log10(fk) - 60*math.Log10(fk+0.03)
+	wind := 50 + 7.5*math.Sqrt(windMS) + 20*math.Log10(fk) - 40*math.Log10(fk+0.4)
+	thermal := -15 + 20*math.Log10(fk)
+
+	sum := 0.0
+	for _, l := range [...]float64{turbulence, ship, wind, thermal} {
+		sum += math.Pow(10, l/10)
+	}
+	return 10 * math.Log10(sum)
+}
+
+// AmbientBandLevel integrates the ambient spectral level over [lo, hi]
+// and returns the band level in dB re 1 µPa — the single number that
+// drives how much broadband jitter a benign source injects into the
+// drive-tray telemetry. The integral runs on a fixed logarithmic grid so
+// the result is deterministic and resolution-independent enough for the
+// corpus presets.
+func AmbientBandLevel(lo, hi units.Frequency, shipping, windMS float64) float64 {
+	if hi <= lo || lo <= 0 {
+		return math.Inf(-1)
+	}
+	const steps = 256
+	ratio := math.Pow(hi.Hertz()/lo.Hertz(), 1/float64(steps))
+	var power float64
+	f := lo.Hertz()
+	for i := 0; i < steps; i++ {
+		next := f * ratio
+		mid := math.Sqrt(f * next) // geometric midpoint of the sub-band
+		level := AmbientNoiseLevel(units.Frequency(mid), shipping, windMS)
+		power += math.Pow(10, level/10) * (next - f)
+		f = next
+	}
+	return 10 * math.Log10(power)
+}

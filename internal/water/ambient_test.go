@@ -1,0 +1,54 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"deepnote/internal/units"
+)
+
+func TestAmbientNoiseLevelShape(t *testing.T) {
+	// More wind means more noise in the wind-dominated band.
+	calm := AmbientNoiseLevel(650*units.Hz, 0.3, 1)
+	gale := AmbientNoiseLevel(650*units.Hz, 0.3, 15)
+	if gale <= calm {
+		t.Fatalf("wind must raise the 650 Hz level: calm %.1f vs gale %.1f dB", calm, gale)
+	}
+	// Shipping dominates the low band but barely moves the kHz range:
+	// the shipping spectrum peaks near 50–100 Hz and rolls off fast.
+	shipLow := AmbientNoiseLevel(80*units.Hz, 1, 5) - AmbientNoiseLevel(80*units.Hz, 0, 5)
+	shipHigh := AmbientNoiseLevel(5*units.KHz, 1, 5) - AmbientNoiseLevel(5*units.KHz, 0, 5)
+	if shipLow < 3 {
+		t.Fatalf("heavy shipping must lift the 80 Hz level (Δ = %.2f dB)", shipLow)
+	}
+	if shipHigh > shipLow/2 {
+		t.Fatalf("shipping delta must concentrate at low frequency: low %.2f vs high %.2f dB", shipLow, shipHigh)
+	}
+	// Levels stay in the physically plausible Wenz corridor across the
+	// servo-vulnerable band.
+	for f := 100 * units.Hz; f <= 2*units.KHz; f += 100 * units.Hz {
+		l := AmbientNoiseLevel(f, 0.5, 7)
+		if l < 30 || l > 110 {
+			t.Fatalf("level at %v = %.1f dB, outside the Wenz corridor", f, l)
+		}
+	}
+}
+
+func TestAmbientBandLevel(t *testing.T) {
+	quiet := AmbientBandLevel(300*units.Hz, 1400*units.Hz, 0.2, 2)
+	loud := AmbientBandLevel(300*units.Hz, 1400*units.Hz, 0.9, 13)
+	if loud <= quiet {
+		t.Fatalf("band level must grow with shipping and wind: %.1f vs %.1f dB", quiet, loud)
+	}
+	// Band level exceeds the spectral level (it integrates > 1 Hz).
+	spectral := AmbientNoiseLevel(650*units.Hz, 0.2, 2)
+	if quiet <= spectral {
+		t.Fatalf("band level %.1f dB must exceed the spectral level %.1f dB", quiet, spectral)
+	}
+	if !math.IsInf(AmbientBandLevel(500*units.Hz, 400*units.Hz, 0.5, 5), -1) {
+		t.Fatal("inverted band must return -Inf")
+	}
+	if !math.IsInf(AmbientBandLevel(0, 400*units.Hz, 0.5, 5), -1) {
+		t.Fatal("zero lower edge must return -Inf")
+	}
+}
