@@ -64,6 +64,13 @@ type benchSnapshot struct {
 	// records it.
 	ClassifyOpsPerSec      float64 `json:"classify_ops_per_sec"`
 	ClassifyOpsPerSecPrior float64 `json:"classify_ops_per_sec_prior,omitempty"`
+	// ExfilGoodputBitsPerSec is the covert channel's best net goodput on a
+	// fixed short-range sweep. Unlike the host-time throughputs above it is
+	// a deterministic simulation quantity, so the gate catches modem or
+	// receiver changes that silently shrink the channel — gated like the
+	// others once a baseline records it.
+	ExfilGoodputBitsPerSec      float64 `json:"exfil_goodput_bits_per_sec"`
+	ExfilGoodputBitsPerSecPrior float64 `json:"exfil_goodput_bits_per_sec_prior,omitempty"`
 }
 
 // cmdBench times the key experiments in host seconds and writes the
@@ -75,7 +82,7 @@ type benchSnapshot struct {
 // below the committed baseline.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_pr9.json", "output JSON path")
+	out := fs.String("out", "BENCH_pr10.json", "output JSON path")
 	quick := fs.Bool("quick", false, "shrink workloads (CI mode)")
 	baseline := fs.String("baseline", "", "committed snapshot to gate cluster_ops_per_sec against (empty = no gate)")
 	maxRegress := fs.Float64("maxregress", 0.10, "max fractional ops/sec regression allowed vs -baseline")
@@ -238,6 +245,15 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("fingerprint classifier: %.0f windows/s\n", snap.ClassifyOpsPerSec)
 
+	if err := timeIt("exfil_channel", func() error {
+		goodput, err := benchExfilChannel()
+		snap.ExfilGoodputBitsPerSec = goodput
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("exfil channel: %.2f goodput b/s\n", snap.ExfilGoodputBitsPerSec)
+
 	bare, instr := snap.Entries[0].Seconds, snap.Entries[1].Seconds
 	if bare > 0 {
 		snap.MetricsOverheadFrac = (instr - bare) / bare
@@ -291,6 +307,19 @@ func cmdBench(args []string) error {
 			} else {
 				fmt.Printf("bench gate: fingerprint classifier %.0f windows/s vs baseline %.0f: ok\n",
 					snap.ClassifyOpsPerSec, prior.ClassifyOpsPerSec)
+			}
+		}
+		// And for the covert channel's goodput. The value is deterministic
+		// (simulation, not host time), so any dip at all is a real modem or
+		// receiver regression — the gate is exact, no tolerance band.
+		snap.ExfilGoodputBitsPerSecPrior = prior.ExfilGoodputBitsPerSec
+		if prior.ExfilGoodputBitsPerSec > 0 {
+			if snap.ExfilGoodputBitsPerSec < prior.ExfilGoodputBitsPerSec {
+				gateErr = fmt.Errorf("bench gate: exfil channel %.2f goodput b/s is below the baseline %.2f",
+					snap.ExfilGoodputBitsPerSec, prior.ExfilGoodputBitsPerSec)
+			} else {
+				fmt.Printf("bench gate: exfil channel %.2f goodput b/s vs baseline %.2f: ok\n",
+					snap.ExfilGoodputBitsPerSec, prior.ExfilGoodputBitsPerSec)
 			}
 		}
 	}
@@ -474,6 +503,27 @@ func benchFingerprintClassify(windows int) (float64, error) {
 		}
 	}
 	return best, nil
+}
+
+// benchExfilChannel runs the covert channel's fixed short-range sweep and
+// returns the best net goodput. The spec is identical in quick and full
+// modes on purpose: the headline is deterministic, so the committed
+// baseline and the CI -quick run must measure the same channel.
+func benchExfilChannel() (float64, error) {
+	res, err := experiment.ExfilRun(experiment.ExfilSpec{
+		Distances:    []units.Distance{5 * units.Meter},
+		Depths:       []units.Distance{0},
+		SymbolRates:  []float64{32, 64},
+		Frames:       2,
+		DetectFrames: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.RecoveredAmbients < 3 {
+		return 0, fmt.Errorf("exfil bench: bit-exact recovery over only %d ambients at 5 m", res.RecoveredAmbients)
+	}
+	return res.BestGoodputBps, nil
 }
 
 func writeBenchJSON(path string, snap benchSnapshot) error {

@@ -110,6 +110,8 @@ func main() {
 		err = cmdSonar(args)
 	case "fingerprint":
 		err = cmdFingerprint(args)
+	case "exfil":
+		err = cmdExfil(args)
 	case "adaptive":
 		err = cmdAdaptive(args)
 	case "integrity":
@@ -161,6 +163,7 @@ commands:
   cluster   erasure-coded datacenter serving traffic under a speaker ladder
   sonar     closed-loop defense: hydrophone localization steering the store
   fingerprint  spectral attack fingerprinting vs the benign ambient corpus
+  exfil     covert acoustic exfiltration: capacity map, rate sweep, fingerprint defense
   adaptive  closed-loop attacker: find the best tone within a probe budget
   integrity silent adjacent-track corruption under a marginal attack
   selfcheck differential check: analytic oracle vs Monte-Carlo simulation

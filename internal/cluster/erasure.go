@@ -11,6 +11,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+
+	"deepnote/internal/gf"
 )
 
 // Erasure coding errors.
@@ -23,40 +25,6 @@ var (
 	// ErrShardSize reports inconsistent shard sizes.
 	ErrShardSize = errors.New("cluster: inconsistent shard sizes")
 )
-
-// GF(256) arithmetic with the AES-adjacent primitive polynomial
-// x^8+x^4+x^3+x^2+1 (0x11d), the conventional choice for Reed–Solomon
-// storage codes. Log/antilog tables make multiplies two lookups.
-var (
-	gfExp [512]byte
-	gfLog [256]int
-)
-
-func init() {
-	x := 1
-	for i := 0; i < 255; i++ {
-		gfExp[i] = byte(x)
-		gfLog[x] = i
-		x <<= 1
-		if x&0x100 != 0 {
-			x ^= 0x11d
-		}
-	}
-	// Double the table so gfMul can skip the mod-255 reduction.
-	for i := 255; i < 512; i++ {
-		gfExp[i] = gfExp[i-255]
-	}
-}
-
-func gfMul(a, b byte) byte {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return gfExp[gfLog[a]+gfLog[b]]
-}
-
-// gfInv inverts a nonzero field element.
-func gfInv(a byte) byte { return gfExp[255-gfLog[a]] }
 
 // Coder is a systematic k-of-n Reed–Solomon coder built from a Cauchy
 // matrix over GF(256). The encoding matrix is [I_k ; C] with
@@ -79,7 +47,7 @@ func NewCoder(dataShards, parityShards int) (*Coder, error) {
 	for i := 0; i < m; i++ {
 		c.cauchy[i] = make([]byte, k)
 		for j := 0; j < k; j++ {
-			c.cauchy[i][j] = gfInv(byte(k+i) ^ byte(j))
+			c.cauchy[i][j] = gf.Inv(byte(k+i) ^ byte(j))
 		}
 	}
 	return c, nil
@@ -136,7 +104,7 @@ func (c *Coder) Encode(data []byte) [][]byte {
 			}
 			sj := shards[j]
 			for b := range p {
-				p[b] ^= gfMul(coef, sj[b])
+				p[b] ^= gf.Mul(coef, sj[b])
 			}
 		}
 		shards[c.data+i] = p
@@ -201,7 +169,7 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 				}
 				src := shards[idx]
 				for b := range d {
-					d[b] ^= gfMul(coef, src[b])
+					d[b] ^= gf.Mul(coef, src[b])
 				}
 			}
 			recovered[j] = d
@@ -225,7 +193,7 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 			}
 			sj := shards[j]
 			for b := range p {
-				p[b] ^= gfMul(coef, sj[b])
+				p[b] ^= gf.Mul(coef, sj[b])
 			}
 		}
 		shards[c.data+i] = p
@@ -275,10 +243,10 @@ func invertMatrix(m [][]byte) ([][]byte, error) {
 		m[col], m[pivot] = m[pivot], m[col]
 		inv[col], inv[pivot] = inv[pivot], inv[col]
 		if d := m[col][col]; d != 1 {
-			di := gfInv(d)
+			di := gf.Inv(d)
 			for j := 0; j < n; j++ {
-				m[col][j] = gfMul(m[col][j], di)
-				inv[col][j] = gfMul(inv[col][j], di)
+				m[col][j] = gf.Mul(m[col][j], di)
+				inv[col][j] = gf.Mul(inv[col][j], di)
 			}
 		}
 		for r := 0; r < n; r++ {
@@ -287,8 +255,8 @@ func invertMatrix(m [][]byte) ([][]byte, error) {
 			}
 			f := m[r][col]
 			for j := 0; j < n; j++ {
-				m[r][j] ^= gfMul(f, m[col][j])
-				inv[r][j] ^= gfMul(f, inv[col][j])
+				m[r][j] ^= gf.Mul(f, m[col][j])
+				inv[r][j] ^= gf.Mul(f, inv[col][j])
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/hex"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -185,4 +186,69 @@ func FuzzErasure(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestErasurePreRefactorVectors pins Encode output against vectors captured
+// before the GF(256) arithmetic was extracted into internal/gf. The coder's
+// bytes on the wire are a storage format: any drift here corrupts every
+// stripe already placed by earlier simulations, so the extraction must be
+// byte-identical, not merely algebraically equivalent.
+func TestErasurePreRefactorVectors(t *testing.T) {
+	// First 23 bytes drawn as byte(rng.Intn(256)) from rand.NewSource(42).
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 23)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	const wantData = "b14b843edf61a58870d3f96fe7dc8c6d0479af10aa16c4"
+	if got := hex.EncodeToString(data); got != wantData {
+		t.Fatalf("seed data drifted: %s, want %s", got, wantData)
+	}
+	cases := []struct {
+		k, m   int
+		shards []string
+	}{
+		{4, 2, []string{
+			"b14b843edf61", "a58870d3f96f", "e7dc8c6d0479",
+			"af10aa16c400", "d34df0a0e1d9", "d63cc4fe148d",
+		}},
+		{5, 3, []string{
+			"b14b843edf", "61a58870d3", "f96fe7dc8c", "6d0479af10",
+			"aa16c40000", "f45d760550", "eb04f5fa9c", "c2649f2cfe",
+		}},
+		{2, 1, []string{
+			"b14b843edf61a58870d3f96f", "e7dc8c6d0479af10aa16c400",
+			"8b14cdcf1662b9bf5e1e45b9",
+		}},
+	}
+	for _, tc := range cases {
+		coder, err := NewCoder(tc.k, tc.m)
+		if err != nil {
+			t.Fatalf("NewCoder(%d, %d): %v", tc.k, tc.m, err)
+		}
+		shards := coder.Encode(data)
+		if len(shards) != len(tc.shards) {
+			t.Fatalf("k=%d m=%d: %d shards, want %d", tc.k, tc.m, len(shards), len(tc.shards))
+		}
+		for i, want := range tc.shards {
+			if got := hex.EncodeToString(shards[i]); got != want {
+				t.Errorf("k=%d m=%d shard %d = %s, want %s", tc.k, tc.m, i, got, want)
+			}
+		}
+		// Reconstruction from the parity-heaviest survivable subset must
+		// reproduce the pinned data shards exactly.
+		holed := make([][]byte, len(shards))
+		copy(holed, shards)
+		for j := 0; j < tc.m; j++ {
+			holed[j] = nil
+		}
+		if err := coder.Reconstruct(holed); err != nil {
+			t.Fatalf("k=%d m=%d Reconstruct: %v", tc.k, tc.m, err)
+		}
+		for i, want := range tc.shards {
+			if got := hex.EncodeToString(holed[i]); got != want {
+				t.Errorf("k=%d m=%d reconstructed shard %d = %s, want %s", tc.k, tc.m, i, got, want)
+			}
+		}
+	}
 }

@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"deepnote/internal/units"
+)
+
+// The covert-channel receiver (internal/exfil) scores each symbol with a
+// rectangular-window Goertzel evaluated exactly at the modem tones — 780
+// and 1140 Hz at 4096 Hz — over one symbol of samples: 256, 128, or 64 at
+// the supported 16/32/64 baud rates. None of those windows holds an
+// integer number of tone cycles, so these tests pin the two properties
+// the demodulator's SNR and FER accounting silently lean on: on-tone
+// scallop loss stays negligible because the bin sits exactly on the tone,
+// and the other tone's leakage into the bin stays far below the decision
+// margins.
+
+// modemSymbolLens maps the supported baud rates (64, 32, 16) to their
+// symbol windows at the modem's 4096 Hz telemetry rate, shortest first.
+var modemSymbolLens = []int{64, 128, 256}
+
+var modemTones = []units.Frequency{780 * units.Hz, 1140 * units.Hz}
+
+const modemRate = 4096.0
+
+// goertzelAmp runs one symbol's samples through a fresh Goertzel at freq
+// and converts block power to the rectangular-window amplitude estimate
+// (a tone of amplitude A on its own bin yields |X| = A·n/2).
+func goertzelAmp(samples []float64, freq units.Frequency) float64 {
+	g := NewGoertzel(freq, modemRate)
+	for _, x := range samples {
+		g.Push(x)
+	}
+	return 2 * math.Sqrt(g.Power()) / float64(len(samples))
+}
+
+func toneSamples(freq units.Frequency, phase float64, n int) []float64 {
+	w := freq.AngularVelocity() / modemRate
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(w*float64(i) + phase)
+	}
+	return out
+}
+
+// TestGoertzelModemScallopLoss pins why the receiver can put bins exactly
+// on the tones instead of snapping to integer DFT bins: evaluated at the
+// tone frequency, the amplitude estimate stays within ±0.25 dB of truth
+// over every symbol phase, even though the symbol windows hold fractional
+// cycle counts (e.g. 24.375 cycles of 780 Hz in 128 samples). A tone
+// detuned by half a bin from the evaluation frequency shows the classic
+// ~3.9 dB rectangular-window scallop loss — the error the exact-bin
+// placement avoids.
+func TestGoertzelModemScallopLoss(t *testing.T) {
+	const phases = 64
+	for _, n := range modemSymbolLens {
+		for _, tone := range modemTones {
+			minAmp, maxAmp := math.Inf(1), math.Inf(-1)
+			for k := 0; k < phases; k++ {
+				amp := goertzelAmp(toneSamples(tone, 2*math.Pi*float64(k)/phases, n), tone)
+				minAmp = math.Min(minAmp, amp)
+				maxAmp = math.Max(maxAmp, amp)
+			}
+			if lo := 20 * math.Log10(minAmp); lo < -0.25 {
+				t.Errorf("n=%d %v: worst on-tone amplitude %.3f dB, want ≥ -0.25 dB", n, tone, lo)
+			}
+			if hi := 20 * math.Log10(maxAmp); hi > 0.25 {
+				t.Errorf("n=%d %v: best on-tone amplitude %+.3f dB, want ≤ +0.25 dB", n, tone, hi)
+			}
+
+			// Half a bin off (fs/2n), the scallop loss appears in full.
+			detuned := tone + units.Frequency(modemRate/(2*float64(n)))
+			worst := math.Inf(1)
+			for k := 0; k < phases; k++ {
+				amp := goertzelAmp(toneSamples(detuned, 2*math.Pi*float64(k)/phases, n), tone)
+				worst = math.Min(worst, amp)
+			}
+			loss := -20 * math.Log10(worst)
+			if loss < 3.5 || loss > 4.5 {
+				t.Errorf("n=%d %v: half-bin scallop loss %.2f dB, want the classic ~3.9 dB (3.5–4.5)", n, tone, loss)
+			}
+		}
+	}
+}
+
+// TestGoertzelModemAdjacentBinLeakage bounds how much of one tone's power
+// bleeds into the other tone's bin — the floor under the FSK comparison
+// and the OOK noise-reference bin. The 360 Hz tone spacing was chosen so
+// even the shortest symbol (64 samples at 64 baud) keeps the leak 24 dB
+// down, and longer symbols only improve it.
+func TestGoertzelModemAdjacentBinLeakage(t *testing.T) {
+	const phases = 64
+	// Worst tolerated leak per symbol window, in dB below on-bin power.
+	floor := map[int]float64{256: 35, 128: 30, 64: 24}
+	prevWorst := 0.0
+	for _, n := range modemSymbolLens {
+		worst := 0.0
+		for _, tx := range modemTones {
+			rx := modemTones[0]
+			if rx == tx {
+				rx = modemTones[1]
+			}
+			onBin := float64(n) * float64(n) / 4
+			for k := 0; k < phases; k++ {
+				g := NewGoertzel(rx, modemRate)
+				for _, x := range toneSamples(tx, 2*math.Pi*float64(k)/phases, n) {
+					g.Push(x)
+				}
+				worst = math.Max(worst, g.Power()/onBin)
+			}
+		}
+		leakDB := -10 * math.Log10(worst)
+		if leakDB < floor[n] {
+			t.Errorf("n=%d: worst cross-tone leakage %.1f dB below carrier, want ≥ %.0f dB", n, leakDB, floor[n])
+		}
+		if prevWorst > 0 && worst >= prevWorst {
+			t.Errorf("n=%d: leakage %.2e did not improve on the shorter window's %.2e", n, worst, prevWorst)
+		}
+		prevWorst = worst
+	}
+}

@@ -1,0 +1,98 @@
+// Frame codec: the bit stream one frame puts on the wire is
+//
+//	[preamble: alternating 1010…] [sync: 0x2DD4] [RS codeword]
+//
+// where the codeword is rsEncode over a fixed-size data block
+//
+//	[length: 2 bytes BE] [payload] [zero padding] [CRC-32 (IEEE)]
+//
+// The CRC covers length + payload + padding, so a padding byte corrupted
+// into the block is caught even when the RS layer miscorrects. Bytes are
+// transmitted MSB-first.
+package exfil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// syncWord marks the end of the preamble. 0x2DD4 is a 16-bit word with
+// good autocorrelation (the tail half of a CCSDS 32-bit marker) that an
+// alternating preamble never contains.
+const (
+	syncWord uint16 = 0x2DD4
+	syncBits        = 16
+)
+
+// encodeFrame builds one frame's symbol stream (one bit per byte of the
+// returned slice).
+func (m modem) encodeFrame(payload []byte) ([]byte, error) {
+	if len(payload) > m.MaxPayload() {
+		return nil, fmt.Errorf("%w: %d bytes > max %d", ErrPayloadSize, len(payload), m.MaxPayload())
+	}
+	data := make([]byte, m.dataBytes)
+	binary.BigEndian.PutUint16(data[0:2], uint16(len(payload)))
+	copy(data[2:], payload)
+	crc := crc32.ChecksumIEEE(data[: m.dataBytes-4 : m.dataBytes-4])
+	binary.BigEndian.PutUint32(data[m.dataBytes-4:], crc)
+	cw := rsEncode(data, m.parityBytes)
+
+	bits := make([]byte, 0, m.frameBits())
+	for i := 0; i < m.preambleBits; i++ {
+		bits = append(bits, byte(1-i%2))
+	}
+	for i := syncBits - 1; i >= 0; i-- {
+		bits = append(bits, byte(syncWord>>i&1))
+	}
+	for _, b := range cw {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>i)&1)
+		}
+	}
+	return bits, nil
+}
+
+// decodeCodeword recovers the payload from codeword bits (the stream after
+// the sync word), returning the payload and the number of RS corrections.
+func (m modem) decodeCodeword(bits []byte) ([]byte, int, error) {
+	n := m.dataBytes + m.parityBytes
+	if len(bits) < 8*n {
+		return nil, 0, fmt.Errorf("%w: %d codeword bits, want %d", ErrFrameCorrupt, len(bits), 8*n)
+	}
+	cw := make([]byte, n)
+	for i := range cw {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | bits[8*i+j]&1
+		}
+		cw[i] = b
+	}
+	corrections, err := rsDecode(cw, m.parityBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	data := cw[:m.dataBytes]
+	crc := crc32.ChecksumIEEE(data[: m.dataBytes-4 : m.dataBytes-4])
+	if binary.BigEndian.Uint32(data[m.dataBytes-4:]) != crc {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrFrameCorrupt)
+	}
+	size := int(binary.BigEndian.Uint16(data[0:2]))
+	if size > m.MaxPayload() {
+		return nil, 0, fmt.Errorf("%w: length field %d > max %d", ErrFrameCorrupt, size, m.MaxPayload())
+	}
+	return append([]byte(nil), data[2:2+size]...), corrections, nil
+}
+
+// preamblePattern returns the expected preamble+sync bit pattern the
+// receiver correlates against during acquisition.
+func (m modem) preamblePattern() []byte {
+	bits := make([]byte, 0, m.preambleBits+syncBits)
+	for i := 0; i < m.preambleBits; i++ {
+		bits = append(bits, byte(1-i%2))
+	}
+	for i := syncBits - 1; i >= 0; i-- {
+		bits = append(bits, byte(syncWord>>i&1))
+	}
+	return bits
+}

@@ -1,0 +1,155 @@
+package exfil
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func testModem(t *testing.T) modem {
+	t.Helper()
+	m, err := ModemConfig{}.resolve()
+	if err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	return m
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	m := testModem(t)
+	rng := rand.New(rand.NewSource(3))
+	for size := 0; size <= m.MaxPayload(); size++ {
+		payload := make([]byte, size)
+		rng.Read(payload)
+		bits, err := m.encodeFrame(payload)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(bits) != m.frameBits() {
+			t.Fatalf("size %d: %d bits on the wire, want %d", size, len(bits), m.frameBits())
+		}
+		got, corrections, err := m.decodeCodeword(bits[m.preambleBits+syncBits:])
+		if err != nil {
+			t.Fatalf("size %d: decode: %v", size, err)
+		}
+		if corrections != 0 {
+			t.Errorf("size %d: %d corrections on a clean frame", size, corrections)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: payload mismatch", size)
+		}
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	m := testModem(t)
+	if _, err := m.encodeFrame(make([]byte, m.MaxPayload()+1)); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("oversized payload: got %v, want ErrPayloadSize", err)
+	}
+}
+
+// corruptCodeword flips nbytes distinct bytes of the frame's codeword
+// region (after preamble+sync), returning the corrupted bit stream.
+func corruptCodeword(m modem, bits []byte, nbytes int, rng *rand.Rand) []byte {
+	out := append([]byte(nil), bits...)
+	cw := out[m.preambleBits+syncBits:]
+	for _, byteIdx := range rng.Perm(len(cw) / 8)[:nbytes] {
+		// Flip at least one bit of the chosen byte.
+		mask := 1 + rng.Intn(255)
+		for j := 0; j < 8; j++ {
+			if mask>>j&1 == 1 {
+				cw[8*byteIdx+j] ^= 1
+			}
+		}
+	}
+	return out
+}
+
+// FuzzFrameCodec is the satellite guarantee: corruption within the FEC
+// budget decodes to the exact payload; beyond it the codec must reject —
+// a silently wrong payload is never acceptable for an exfiltrated blob
+// whose whole value is integrity.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add([]byte("deep note"), int64(1), 4)
+	f.Add([]byte{}, int64(2), 0)
+	f.Add(bytes.Repeat([]byte{0xA5}, 58), int64(3), 20)
+	f.Fuzz(func(t *testing.T, payload []byte, seed int64, nbytes int) {
+		m, err := (ModemConfig{}).resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payload) > m.MaxPayload() {
+			payload = payload[:m.MaxPayload()]
+		}
+		if nbytes < 0 {
+			nbytes = -nbytes
+		}
+		nbytes %= m.dataBytes + m.parityBytes
+		bits, err := m.encodeFrame(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		corrupted := corruptCodeword(m, bits, nbytes, rng)
+		got, corrections, err := m.decodeCodeword(corrupted[m.preambleBits+syncBits:])
+		budget := m.parityBytes / 2
+		switch {
+		case nbytes <= budget:
+			if err != nil {
+				t.Fatalf("%d corrupted bytes within budget %d rejected: %v", nbytes, budget, err)
+			}
+			if corrections != nbytes {
+				t.Errorf("reported %d corrections, want %d", corrections, nbytes)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("payload mismatch after in-budget correction")
+			}
+		case err == nil:
+			// Beyond the budget a lucky pattern may still land on the
+			// original codeword's decoding sphere and decode fine — but
+			// only ever to the true payload. Any other outcome means the
+			// CRC failed its job.
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("silent corruption: %d bytes corrupted, decode returned a wrong payload", nbytes)
+			}
+		}
+	})
+}
+
+func TestFrameCorruptionSweep(t *testing.T) {
+	// Deterministic sweep across the whole corruption range — the fuzz
+	// target's property, exercised unconditionally in CI.
+	m := testModem(t)
+	rng := rand.New(rand.NewSource(9))
+	payload := []byte("exfiltrated secret block")
+	budget := m.parityBytes / 2
+	rejected := 0
+	for nbytes := 0; nbytes <= 40; nbytes++ {
+		for trial := 0; trial < 10; trial++ {
+			bits, err := m.encodeFrame(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupted := corruptCodeword(m, bits, nbytes, rng)
+			got, _, err := m.decodeCodeword(corrupted[m.preambleBits+syncBits:])
+			if nbytes <= budget {
+				if err != nil {
+					t.Fatalf("%d bytes within budget rejected: %v", nbytes, err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("%d bytes within budget: wrong payload", nbytes)
+				}
+				continue
+			}
+			if err != nil {
+				rejected++
+			} else if !bytes.Equal(got, payload) {
+				t.Fatalf("%d bytes beyond budget: silently wrong payload", nbytes)
+			}
+		}
+	}
+	if rejected < 250 {
+		t.Errorf("only %d/320 over-budget frames rejected", rejected)
+	}
+}

@@ -1,0 +1,194 @@
+// The error-correcting half of the shared Reed–Solomon machinery. The
+// cluster store only ever faces erasures — a silenced container is a known
+// hole — so its coder inverts a Cauchy system over the surviving shards.
+// The covert channel faces genuine errors at unknown positions: a symbol
+// decision flipped by an ambient burst looks exactly like any other byte.
+// This file implements the classical BCH-view decoder over the same
+// internal/gf field: syndromes, Berlekamp–Massey, Chien search, Forney.
+package exfil
+
+import (
+	"fmt"
+
+	"deepnote/internal/gf"
+)
+
+// rsEncode appends parity to data, returning the n = len(data)+parity
+// codeword. The code is systematic with generator
+// g(x) = Π_{i=0}^{parity-1} (x − α^i); codewords are polynomial
+// coefficient vectors with the highest-degree term first, so cw[0] is the
+// first data byte on the wire.
+func rsEncode(data []byte, parity int) []byte {
+	gen := rsGenerator(parity)
+	cw := make([]byte, len(data)+parity)
+	copy(cw, data)
+	// Remainder of data·x^parity mod g(x) by synthetic division.
+	rem := make([]byte, parity)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[parity-1] = 0
+		if factor != 0 {
+			for j := 0; j < parity; j++ {
+				rem[j] ^= gf.Mul(gen[j+1], factor)
+			}
+		}
+	}
+	copy(cw[len(data):], rem)
+	return cw
+}
+
+// rsGenerator returns g(x) for the given parity count, highest degree
+// first, with g[0] = 1.
+func rsGenerator(parity int) []byte {
+	g := []byte{1}
+	for i := 0; i < parity; i++ {
+		g = gf.PolyMul(g, []byte{1, gf.Exp(i)})
+	}
+	return g
+}
+
+// rsDecode corrects up to parity/2 byte errors in cw in place and returns
+// the number of corrections. A pattern beyond the budget returns
+// ErrFrameCorrupt; the codeword may then hold residual garbage and the
+// caller's CRC is the last line of defense against a miscorrection that
+// happens to land on a valid codeword.
+func rsDecode(cw []byte, parity int) (int, error) {
+	n := len(cw)
+	if n <= parity || n > 255 {
+		return 0, fmt.Errorf("%w: codeword length %d with %d parity", ErrConfig, n, parity)
+	}
+	synd := make([]byte, parity)
+	clean := true
+	for i := range synd {
+		synd[i] = gf.PolyEval(cw, gf.Exp(i))
+		if synd[i] != 0 {
+			clean = false
+		}
+	}
+	if clean {
+		return 0, nil
+	}
+
+	// Berlekamp–Massey: find the shortest LFSR Λ (lowest-degree-first)
+	// generating the syndrome sequence.
+	lambda := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	var b byte = 1
+	for i := 0; i < parity; i++ {
+		var delta byte
+		for j := 0; j <= l; j++ {
+			if j < len(lambda) && i-j >= 0 {
+				delta ^= gf.Mul(lambda[j], synd[i-j])
+			}
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		scale := gf.Div(delta, b)
+		shifted := make([]byte, len(prev)+m)
+		for j, c := range prev {
+			shifted[j+m] = gf.Mul(c, scale)
+		}
+		next := xorLow(lambda, shifted)
+		if 2*l <= i {
+			prev = append([]byte(nil), lambda...)
+			l = i + 1 - l
+			b = delta
+			m = 1
+		} else {
+			m++
+		}
+		lambda = next
+	}
+	lambda = trimLow(lambda)
+	nerr := len(lambda) - 1
+	if nerr == 0 || nerr > parity/2 {
+		return 0, fmt.Errorf("%w: %d errors exceed the %d-error budget", ErrFrameCorrupt, nerr, parity/2)
+	}
+
+	// Chien search: coefficient of x^d lives at cw[n-1-d]; position d is
+	// in error iff Λ(α^{−d}) = 0.
+	var errDegrees []int
+	for d := 0; d < n; d++ {
+		xinv := gf.Exp((255 - d%255) % 255)
+		if evalLow(lambda, xinv) == 0 {
+			errDegrees = append(errDegrees, d)
+		}
+	}
+	if len(errDegrees) != nerr {
+		return 0, fmt.Errorf("%w: locator degree %d but %d roots", ErrFrameCorrupt, nerr, len(errDegrees))
+	}
+
+	// Forney: Ω(x) = S(x)·Λ(x) mod x^parity, then
+	// e_d = α^d · Ω(α^{−d}) / Λ'(α^{−d}) for first consecutive root 0.
+	omega := make([]byte, parity)
+	for i := 0; i < parity; i++ {
+		var v byte
+		for j := 0; j <= i && j < len(lambda); j++ {
+			v ^= gf.Mul(lambda[j], synd[i-j])
+		}
+		omega[i] = v
+	}
+	// Formal derivative over GF(2^8): odd-power coefficients shift down.
+	deriv := make([]byte, 0, len(lambda)-1)
+	for i := 1; i < len(lambda); i += 2 {
+		deriv = append(deriv, lambda[i])
+		if i+1 < len(lambda) {
+			deriv = append(deriv, 0)
+		}
+	}
+	for _, d := range errDegrees {
+		xinv := gf.Exp((255 - d%255) % 255)
+		den := evalLow(deriv, xinv)
+		if den == 0 {
+			return 0, fmt.Errorf("%w: Forney denominator vanished", ErrFrameCorrupt)
+		}
+		mag := gf.Mul(gf.Exp(d%255), gf.Div(evalLow(omega, xinv), den))
+		cw[n-1-d] ^= mag
+	}
+
+	// Verify: the corrected word must have all-zero syndromes. This turns
+	// a miscorrection of an over-budget pattern into a detected failure
+	// instead of silent corruption.
+	for i := 0; i < parity; i++ {
+		if gf.PolyEval(cw, gf.Exp(i)) != 0 {
+			return 0, fmt.Errorf("%w: syndromes nonzero after correction", ErrFrameCorrupt)
+		}
+	}
+	return nerr, nil
+}
+
+// evalLow evaluates a lowest-degree-first coefficient slice at x.
+func evalLow(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gf.Mul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// xorLow adds two lowest-degree-first slices.
+func xorLow(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return out
+}
+
+// trimLow drops trailing (highest-degree) zero coefficients.
+func trimLow(p []byte) []byte {
+	n := len(p)
+	for n > 1 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}

@@ -1,0 +1,116 @@
+package exfil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"deepnote/internal/gf"
+)
+
+func TestRSGeneratorRoots(t *testing.T) {
+	// Every codeword must vanish at the generator's roots α^0..α^{p-1}.
+	gen := rsGenerator(16)
+	if len(gen) != 17 || gen[0] != 1 {
+		t.Fatalf("generator degree %d, want 16 monic", len(gen)-1)
+	}
+	for i := 0; i < 16; i++ {
+		if v := gf.PolyEval(gen, gf.Exp(i)); v != 0 {
+			t.Errorf("g(α^%d) = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestRSCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(200)
+		parity := 2 * (1 + rng.Intn(10))
+		if k+parity > 255 {
+			continue
+		}
+		data := make([]byte, k)
+		rng.Read(data)
+		cw := rsEncode(data, parity)
+		if !bytes.Equal(cw[:k], data) {
+			t.Fatalf("code is not systematic")
+		}
+		if n, err := rsDecode(cw, parity); err != nil || n != 0 {
+			t.Fatalf("clean codeword: %d corrections, err %v", n, err)
+		}
+		if !bytes.Equal(cw[:k], data) {
+			t.Fatalf("clean decode mutated data")
+		}
+	}
+}
+
+func TestRSCorrectsWithinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 16 + rng.Intn(64)
+		parity := 2 * (2 + rng.Intn(7))
+		data := make([]byte, k)
+		rng.Read(data)
+		cw := rsEncode(data, parity)
+		nerr := 1 + rng.Intn(parity/2)
+		corrupted := append([]byte(nil), cw...)
+		positions := rng.Perm(len(cw))[:nerr]
+		for _, p := range positions {
+			var e byte
+			for e == 0 {
+				e = byte(rng.Intn(256))
+			}
+			corrupted[p] ^= e
+		}
+		got, err := rsDecode(corrupted, parity)
+		if err != nil {
+			t.Fatalf("trial %d: %d errors within budget %d rejected: %v", trial, nerr, parity/2, err)
+		}
+		if got != nerr {
+			t.Errorf("trial %d: reported %d corrections, want %d", trial, got, nerr)
+		}
+		if !bytes.Equal(corrupted, cw) {
+			t.Fatalf("trial %d: decode did not restore the codeword", trial)
+		}
+	}
+}
+
+func TestRSRejectsBeyondBudgetOrRestores(t *testing.T) {
+	// Past the budget the decoder may fail (the common case) or — for
+	// patterns that land within distance t of another codeword —
+	// miscorrect. It must never claim success while leaving a word that
+	// fails re-encoding; the frame layer's CRC catches miscorrections.
+	rng := rand.New(rand.NewSource(13))
+	failures := 0
+	for trial := 0; trial < 200; trial++ {
+		k := 32
+		parity := 8 // corrects 4
+		data := make([]byte, k)
+		rng.Read(data)
+		cw := rsEncode(data, parity)
+		corrupted := append([]byte(nil), cw...)
+		for _, p := range rng.Perm(len(cw))[:6] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		if _, err := rsDecode(corrupted, parity); err != nil {
+			failures++
+			continue
+		}
+		// Claimed success: the result must be a valid codeword.
+		if got := rsEncode(corrupted[:k], parity); !bytes.Equal(got, corrupted) {
+			t.Fatalf("trial %d: decoder claimed success on a non-codeword", trial)
+		}
+	}
+	if failures < 150 {
+		t.Errorf("only %d/200 over-budget patterns rejected; decoder is too credulous", failures)
+	}
+}
+
+func TestRSDecodeBadLengths(t *testing.T) {
+	if _, err := rsDecode(make([]byte, 8), 8); err == nil {
+		t.Error("codeword of only parity bytes accepted")
+	}
+	if _, err := rsDecode(make([]byte, 300), 8); err == nil {
+		t.Error("codeword beyond GF(256) bound accepted")
+	}
+}

@@ -239,6 +239,19 @@ func (m Model) SeekTime(distance int64) time.Duration {
 	return time.Duration(t)
 }
 
+// MaxSeekRate returns the highest sustainable seek repetition rate (Hz)
+// for back-and-forth seeks spanning strokeBytes: each period is two seeks
+// (out and back), so the actuator tops out at 1/(2·SeekTime). This bounds
+// the fundamental an exfiltration modulator can emit — harmonics of the
+// seek rate, amplified by the HSA modes, reach higher.
+func (m Model) MaxSeekRate(strokeBytes int64) float64 {
+	st := m.SeekTime(strokeBytes)
+	if st <= 0 {
+		return 0
+	}
+	return 1 / (2 * st.Seconds())
+}
+
 // ServoSensitivity returns |S(f)|, the servo loop's disturbance
 // transmissibility: ≈0 well below crossover (the loop follows and rejects),
 // a modest hump just above crossover, and ≈1 far above (the loop cannot

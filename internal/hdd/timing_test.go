@@ -2,6 +2,7 @@ package hdd
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -196,5 +197,29 @@ func TestSuccessProbabilityCompositeRejected(t *testing.T) {
 	}
 	if _, err := m.SuccessProbability(OpWrite, v, ChunkBytes, 100, 1); !errors.Is(err, ErrCompositeVibration) {
 		t.Fatalf("composite vibration must return ErrCompositeVibration, got %v", err)
+	}
+}
+
+// TestMaxSeekRate pins the actuator's back-and-forth repetition limit —
+// the ceiling the exfil modulator's seek-pattern dictionary is validated
+// against: one period is two seeks of the stroke.
+func TestMaxSeekRate(t *testing.T) {
+	m := Barracuda500()
+	for _, stroke := range []int64{0, m.TrackBytes, m.CapacityBytes / 2} {
+		want := 1 / (2 * m.SeekTime(stroke).Seconds())
+		if got := m.MaxSeekRate(stroke); math.Abs(got-want) > 1e-9 {
+			t.Errorf("stroke %d: MaxSeekRate %.3f, want %.3f", stroke, got, want)
+		}
+	}
+	// Longer strokes take longer per seek, so the sustainable rate must
+	// fall monotonically, and the track-to-track rate must clear the
+	// modulator's default dictionary (390 Hz seek rate for the 780 Hz
+	// tone at harmonic 2).
+	short, long := m.MaxSeekRate(m.TrackBytes), m.MaxSeekRate(m.CapacityBytes)
+	if short <= long {
+		t.Errorf("rate must fall with stroke: track %.1f, full %.1f", short, long)
+	}
+	if short < 390 {
+		t.Errorf("track-to-track rate %.1f cannot carry the default dictionary", short)
 	}
 }

@@ -222,7 +222,16 @@ func (a Ambient) NominalSigma() float64 {
 // (out's length is the window length; existing contents are preserved so
 // scenarios stack on top of the attack and sensor noise).
 func (a Ambient) RenderInto(w int, sampleRateHz float64, out []float64) {
-	if a.Kind == AmbientNone || sampleRateHz <= 0 || len(out) == 0 {
+	a.RenderScaledInto(w, sampleRateHz, 1, out)
+}
+
+// RenderScaledInto is RenderInto with every sample multiplied by scale —
+// the same (seed, kind, w) waveform re-expressed in another unit system.
+// The exfil receiver uses it to hear the tray-telemetry corpus as pressure
+// at a hydrophone (scale = µPa per track-pitch fraction); scale 1 is
+// bit-identical to RenderInto.
+func (a Ambient) RenderScaledInto(w int, sampleRateHz, scale float64, out []float64) {
+	if a.Kind == AmbientNone || sampleRateHz <= 0 || len(out) == 0 || scale == 0 {
 		return
 	}
 	rng := a.rng(w)
@@ -232,14 +241,16 @@ func (a Ambient) RenderInto(w int, sampleRateHz float64, out []float64) {
 	dt := 1 / sampleRateHz
 	for _, c := range comps {
 		wv := c.Freq.AngularVelocity()
+		amp := scale * c.Amp
 		for i := range out {
-			out[i] += c.Amp * math.Sin(wv*(t0+float64(i)*dt)+c.Phase)
+			out[i] += amp * math.Sin(wv*(t0+float64(i)*dt)+c.Phase)
 		}
 	}
 	if sigma > 0 {
 		// The noise draws continue the same per-window stream the line
 		// parameters came from, so the whole window is one deterministic
 		// function of (seed, kind, w).
+		sigma *= scale
 		for i := range out {
 			out[i] += sigma * rng.NormFloat64()
 		}

@@ -144,3 +144,36 @@ func TestAmbientStructure(t *testing.T) {
 		t.Fatalf("shrimp bursts/calm = %d/%d, want a mix", bursts, calm)
 	}
 }
+
+// TestRenderScaledInto pins the unit-conversion contract the exfil channel
+// relies on: scale 1 is bit-identical to RenderInto, any other scale is an
+// exact per-sample multiple of the same (seed, kind, w) waveform, and
+// scale 0 renders nothing.
+func TestRenderScaledInto(t *testing.T) {
+	for _, kind := range AmbientKinds() {
+		a := NewAmbient(kind, 11)
+		const n, rate = 512, 4096.0
+		for w := 0; w < 4; w++ {
+			plain := make([]float64, n)
+			a.RenderInto(w, rate, plain)
+			unit := make([]float64, n)
+			a.RenderScaledInto(w, rate, 1, unit)
+			scaled := make([]float64, n)
+			const scale = 7.25e6
+			a.RenderScaledInto(w, rate, scale, scaled)
+			zero := make([]float64, n)
+			a.RenderScaledInto(w, rate, 0, zero)
+			for i := 0; i < n; i++ {
+				if unit[i] != plain[i] {
+					t.Fatalf("%v w%d sample %d: scale-1 %g differs from RenderInto %g", kind, w, i, unit[i], plain[i])
+				}
+				if want := scale * plain[i]; math.Abs(scaled[i]-want) > 1e-9*math.Abs(want) {
+					t.Fatalf("%v w%d sample %d: scaled %g, want %g", kind, w, i, scaled[i], want)
+				}
+				if zero[i] != 0 {
+					t.Fatalf("%v w%d sample %d: scale-0 wrote %g", kind, w, i, zero[i])
+				}
+			}
+		}
+	}
+}

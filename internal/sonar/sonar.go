@@ -196,6 +196,18 @@ const minStandoff = 1 * units.Centimeter
 // seed isolates this event's noise draws; pass a distinct value per
 // (event, source).
 func (a Array) Receive(pos cluster.Vec3, tone sig.Tone, seed int64) []Reception {
+	driven := acoustics.BG2120().Drive(tone)
+	spk := acoustics.AQ339()
+	return a.ReceiveLevel(pos, driven.Freq, spk.SourceLevel(driven), spk.RefDist, seed)
+}
+
+// ReceiveLevel is the generalized reception path: a narrowband source of
+// arbitrary hardware at pos, described only by its frequency and source
+// level at refDist. Receive delegates here with the attack-chain hardware;
+// the exfiltration channel (internal/exfil) uses it directly with drive
+// tray emissions, which are far quieter than any speaker the attack model
+// owns. Propagation, SNR gating, and TOA noise match Receive exactly.
+func (a Array) ReceiveLevel(pos cluster.Vec3, freq units.Frequency, src units.SPL, refDist units.Distance, seed int64) []Reception {
 	a = a.withDefaults()
 	c := a.Medium.SoundSpeed()
 	out := make([]Reception, len(a.Hydrophones))
@@ -204,12 +216,8 @@ func (a Array) Receive(pos cluster.Vec3, tone sig.Tone, seed int64) []Reception 
 		if d < minStandoff {
 			d = minStandoff
 		}
-		chain := acoustics.Chain{
-			Amp:     acoustics.BG2120(),
-			Speaker: acoustics.AQ339(),
-			Path:    acoustics.Path{Medium: a.Medium, Distance: d, SurfaceDepth: a.SurfaceDepth},
-		}
-		spl := chain.IncidentSPL(tone)
+		path := acoustics.Path{Medium: a.Medium, Distance: d, SurfaceDepth: a.SurfaceDepth}
+		spl := src.Add(-path.TransmissionLoss(freq, refDist))
 		snr := float64(spl.Sub(a.NoiseSPL))
 		rec := Reception{
 			Hydrophone: i,
@@ -219,7 +227,7 @@ func (a Array) Receive(pos cluster.Vec3, tone sig.Tone, seed int64) []Reception 
 		}
 		if snr >= a.MinSNRdB {
 			rec.Detected = true
-			sigma := toaSigma(tone.Freq, snr)
+			sigma := toaSigma(freq, snr)
 			rec.Sigma = time.Duration(sigma * float64(time.Second))
 			rng := rand.New(rand.NewSource(parallel.SeedFor(seed, i)))
 			rec.TOA = rec.Delay + time.Duration(rng.NormFloat64()*sigma*float64(time.Second))

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"deepnote/internal/acoustics"
 	"deepnote/internal/cluster"
 	"deepnote/internal/sig"
 	"deepnote/internal/units"
@@ -199,5 +200,32 @@ func TestDetectScheduleReKeying(t *testing.T) {
 	}
 	if dets[0].KeyOn != 100*time.Millisecond || dets[1].KeyOn != 500*time.Millisecond {
 		t.Fatalf("key-on times %v, %v", dets[0].KeyOn, dets[1].KeyOn)
+	}
+}
+
+// TestReceiveLevelDelegation pins the refactor that opened the reception
+// path to arbitrary sources (the exfil channel's drive-tray emissions):
+// Receive must remain byte-identical to ReceiveLevel fed the attack
+// chain's own hardware parameters, and a quieter source through the same
+// path must lose SNR, not gain it.
+func TestReceiveLevelDelegation(t *testing.T) {
+	a := testArray(t)
+	pos := cluster.Vec3{X: 5, Y: 1, Z: 2}
+	tone := sig.Tone{Freq: 780 * units.Hz, Amplitude: 0.9}
+	const seed = 99
+
+	driven := acoustics.BG2120().Drive(tone)
+	spk := acoustics.AQ339()
+	want := a.Receive(pos, tone, seed)
+	got := a.ReceiveLevel(pos, driven.Freq, spk.SourceLevel(driven), spk.RefDist, seed)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Receive diverged from its ReceiveLevel delegation:\n%+v\nvs\n%+v", want, got)
+	}
+
+	quiet := a.ReceiveLevel(pos, driven.Freq, spk.SourceLevel(driven).Add(-30), spk.RefDist, seed)
+	for i := range quiet {
+		if quiet[i].SNRdB >= want[i].SNRdB {
+			t.Errorf("hydrophone %d: 30 dB quieter source did not lose SNR (%v vs %v)", i, quiet[i].SNRdB, want[i].SNRdB)
+		}
 	}
 }
